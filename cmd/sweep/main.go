@@ -1,0 +1,108 @@
+// Command sweep runs parameter studies around the slipstream simulator:
+//
+//   - a fixed-problem-size scaling study across machine sizes (the paper's
+//     motivating scenario: adding CMPs stops paying once communication
+//     dominates, and slipstream extends the useful range), and
+//   - an A–R synchronization sweep over token insertion points and counts.
+//
+// Examples:
+//
+//	sweep -kernel MG -study scaling -nodes 2,4,8,16
+//	sweep -kernel CG -study tokens -tokens 0,1,2,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/npb"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "MG", "benchmark: BT|CG|LU|MG|SP")
+		study  = flag.String("study", "scaling", "study to run: scaling|tokens|characterize")
+		nodes  = flag.String("nodes", "2,4,8,16", "node counts for -study scaling")
+		tokens = flag.String("tokens", "0,1,2,4", "token counts for -study tokens")
+		at     = flag.Int("at", 16, "node count for -study tokens")
+		scale  = flag.String("scale", "small", "problem scale: test|small|paper")
+		verify = flag.Bool("verify", true, "verify against serial references")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var progress io.Writer // nil interface = silent
+	if !*quiet {
+		progress = os.Stderr
+	}
+
+	switch *study {
+	case "scaling":
+		counts, err := parseInts(*nodes, 1)
+		if err != nil {
+			fatal(err)
+		}
+		rows, err := experiments.RunScaling(strings.ToUpper(*kernel), counts, sc, *verify, progress)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintScaling(strings.ToUpper(*kernel), rows, os.Stdout)
+	case "tokens":
+		counts, err := parseInts(*tokens, 0)
+		if err != nil {
+			fatal(err)
+		}
+		rows, err := experiments.RunTokenSweep(strings.ToUpper(*kernel), *at, sc, counts, *verify, progress)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintTokenSweep(strings.ToUpper(*kernel), rows, os.Stdout)
+	case "characterize":
+		rows, err := experiments.Characterize(*at, synth.DefaultParams(), progress)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintCharacterization(rows, os.Stdout)
+	default:
+		fatal(fmt.Errorf("unknown study %q", *study))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}
+
+func parseScale(s string) (npb.Scale, error) {
+	switch strings.ToLower(s) {
+	case "test":
+		return npb.ScaleTest, nil
+	case "small":
+		return npb.ScaleSmall, nil
+	case "paper":
+		return npb.ScalePaper, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func parseInts(s string, min int) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < min {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,16 @@
+// Package repro is a Go reproduction of "Extending OpenMP to Support
+// Slipstream Execution Mode" (Ibrahim & Byrd, IPPS 2003).
+//
+// It contains a deterministic discrete-event simulator of a CMP-based
+// distributed shared-memory multiprocessor (internal/sim, internal/cache,
+// internal/directory, internal/machine), an OpenMP-style runtime in the
+// shape of the Omni compiler's runtime library (internal/omp), the
+// slipstream execution-mode controller that is the paper's contribution
+// (internal/core), scaled-down ports of the NAS Parallel Benchmark kernels
+// BT, CG, LU, MG and SP (internal/npb), and a harness that regenerates the
+// paper's tables and figures (internal/experiments, cmd/slipsim).
+//
+// The benchmarks in bench_test.go index the paper's evaluation: one
+// benchmark per table and figure, reporting simulated cycles and the
+// derived series as benchmark metrics.
+package repro

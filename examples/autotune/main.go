@@ -1,0 +1,79 @@
+// Autotune: per-region selection of the A–R synchronization policy.
+//
+// The paper's results show "the sensitivity of performance to the type of
+// A-R synchronization" and that each application "has a tendency to favor
+// one synchronization scheme over the other", encouraging "further
+// exploration to select different A-R synchronization for different
+// parallel regions" (§5.1). This example does that exploration at runtime:
+// an AutoTuner tries each candidate policy on each region of an iterative
+// program and locks in the fastest per region.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/omp"
+	"repro/internal/shmem"
+)
+
+const (
+	n     = 32 * 1024
+	iters = 12
+)
+
+// The program has two very different regions: a streaming sweep (benefits
+// from a looser leash) and a producer-consumer exchange (prefers tight
+// synchronization to avoid premature prefetches).
+func step(m *omp.Thread, tu *core.AutoTuner, a, b *shmem.F64) {
+	m.ParallelTuned(tu, "stream", func(t *omp.Thread) {
+		t.For(0, n, func(i int) {
+			t.StF(b, i, t.LdF(a, i)*1.0001)
+			t.Compute(3)
+		})
+	})
+	m.ParallelTuned(tu, "exchange", func(t *omp.Thread) {
+		nth := t.Num()
+		t.For(0, n, func(i int) {
+			// Read a value produced by the "next" thread's block last region.
+			j := (i + n/nth) % n
+			t.StF(a, i, (t.LdF(b, i)+t.LdF(b, j))/2)
+			t.Compute(4)
+		})
+	})
+}
+
+func main() {
+	p := machine.DefaultParams()
+	rt, err := omp.New(omp.Config{Machine: p, Mode: core.ModeSlipstream})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tu := core.NewAutoTuner(
+		core.G0,
+		core.L1,
+		core.Config{Type: core.LocalSync, Tokens: 2},
+	)
+	a := rt.NewF64(n)
+	b := rt.NewF64(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, float64(i%101))
+	}
+	if err := rt.Run(func(m *omp.Thread) {
+		for it := 0; it < iters; it++ {
+			step(m, tu, a, b)
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %d iterations of two regions on 16 CMPs (%d cycles)\n\n", iters, rt.M.WallTime())
+	fmt.Println("per-region choices after tuning:")
+	fmt.Print(tu.Summary())
+	if !tu.Settled() {
+		log.Fatal("tuner failed to settle")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AutoTuner selects a slipstream configuration per parallel region by
+// measurement. The paper observes that "each application has a tendency to
+// favor one synchronization scheme over the other" and that its results
+// "encourage further exploration to select different A-R synchronization
+// for different parallel regions" (§5.1); the tuner does that exploration
+// at runtime: for each region key it cycles through candidate
+// configurations (with a warm-up pass each), then locks in the fastest.
+type AutoTuner struct {
+	candidates []Config
+	warmups    int
+	trials     int
+	regions    map[string]*regionTuner
+}
+
+// regionTuner is the per-region trial state.
+type regionTuner struct {
+	next    int      // candidate currently being evaluated
+	phase   int      // executions of the current candidate so far
+	sums    []uint64 // measured cycles per candidate
+	counts  []int
+	settled bool
+	best    Config
+}
+
+// NewAutoTuner builds a tuner over the candidate configurations (order
+// defines trial order). Defaults: 1 warm-up then 1 measured execution per
+// candidate.
+func NewAutoTuner(candidates ...Config) *AutoTuner {
+	if len(candidates) == 0 {
+		candidates = []Config{G0, L1}
+	}
+	return &AutoTuner{
+		candidates: candidates,
+		warmups:    1,
+		trials:     1,
+		regions:    make(map[string]*regionTuner),
+	}
+}
+
+// SetTrials configures warm-up and measured executions per candidate.
+func (a *AutoTuner) SetTrials(warmups, trials int) {
+	if warmups < 0 || trials < 1 {
+		panic(fmt.Sprintf("core: bad tuner trials %d/%d", warmups, trials))
+	}
+	a.warmups = warmups
+	a.trials = trials
+}
+
+// state returns the trial state for a region key.
+func (a *AutoTuner) state(key string) *regionTuner {
+	r := a.regions[key]
+	if r == nil {
+		r = &regionTuner{
+			sums:   make([]uint64, len(a.candidates)),
+			counts: make([]int, len(a.candidates)),
+		}
+		a.regions[key] = r
+	}
+	return r
+}
+
+// Directive returns the configuration to use for the next execution of the
+// region, as a directive to attach to it.
+func (a *AutoTuner) Directive(key string) *Directive {
+	r := a.state(key)
+	cfg := r.best
+	if !r.settled {
+		cfg = a.candidates[r.next]
+	}
+	return &Directive{Type: cfg.Type, Tokens: cfg.Tokens, HasTokens: true}
+}
+
+// Report feeds back the measured cycles of the region execution that used
+// the configuration handed out by the preceding Directive call.
+func (a *AutoTuner) Report(key string, cycles uint64) {
+	r := a.state(key)
+	if r.settled {
+		return
+	}
+	r.phase++
+	if r.phase > a.warmups {
+		r.sums[r.next] += cycles
+		r.counts[r.next]++
+	}
+	if r.phase >= a.warmups+a.trials {
+		r.phase = 0
+		r.next++
+		if r.next >= len(a.candidates) {
+			r.settle(a)
+		}
+	}
+}
+
+// settle picks the fastest candidate.
+func (r *regionTuner) settle(a *AutoTuner) {
+	best := 0
+	for i := range a.candidates {
+		mi := r.sums[i] / uint64(r.counts[i])
+		mb := r.sums[best] / uint64(r.counts[best])
+		if mi < mb {
+			best = i
+		}
+	}
+	r.best = a.candidates[best]
+	r.settled = true
+}
+
+// Best returns the settled configuration for a region, if any.
+func (a *AutoTuner) Best(key string) (Config, bool) {
+	r := a.regions[key]
+	if r == nil || !r.settled {
+		return Config{}, false
+	}
+	return r.best, true
+}
+
+// Settled reports whether every observed region has locked a config.
+func (a *AutoTuner) Settled() bool {
+	if len(a.regions) == 0 {
+		return false
+	}
+	for _, r := range a.regions {
+		if !r.settled {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary lists each region's settled choice (sorted by key).
+func (a *AutoTuner) Summary() string {
+	keys := make([]string, 0, len(a.regions))
+	for k := range a.regions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		r := a.regions[k]
+		if r.settled {
+			out += fmt.Sprintf("%s: %s\n", k, r.best)
+		} else {
+			out += fmt.Sprintf("%s: (tuning, candidate %d/%d)\n", k, r.next+1, len(a.candidates))
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAutoTunerPicksFastest(t *testing.T) {
+	tu := NewAutoTuner(G0, L1, Config{Type: LocalSync, Tokens: 2})
+	// Feed synthetic timings: L1 is fastest for region "r".
+	timings := map[Config]uint64{
+		G0:                           1000,
+		L1:                           600,
+		{Type: LocalSync, Tokens: 2}: 800,
+	}
+	for i := 0; i < 6; i++ { // 3 candidates x (1 warmup + 1 trial)
+		d := tu.Directive("r")
+		cfg := Config{Type: d.Type, Tokens: d.Tokens}
+		tu.Report("r", timings[cfg])
+	}
+	best, ok := tu.Best("r")
+	if !ok {
+		t.Fatal("tuner did not settle")
+	}
+	if best != L1 {
+		t.Fatalf("best = %v, want %v", best, L1)
+	}
+	// Settled: keeps returning the winner, ignores further reports.
+	d := tu.Directive("r")
+	if d.Type != LocalSync || d.Tokens != 1 {
+		t.Fatalf("settled directive = %+v", d)
+	}
+	tu.Report("r", 1)
+	if best2, _ := tu.Best("r"); best2 != L1 {
+		t.Fatal("settled choice changed")
+	}
+}
+
+func TestAutoTunerWarmupsDiscarded(t *testing.T) {
+	tu := NewAutoTuner(G0, L1)
+	tu.SetTrials(1, 2)
+	// G0: warmup 1 (ignored), then 100, 100. L1: warmup 1, then 500, 500.
+	seq := []uint64{9999, 100, 100, 9999, 500, 500}
+	for _, c := range seq {
+		tu.Directive("x")
+		tu.Report("x", c)
+	}
+	best, ok := tu.Best("x")
+	if !ok || best != G0 {
+		t.Fatalf("best = %v ok=%v, want G0 (warmups must not count)", best, ok)
+	}
+}
+
+func TestAutoTunerIndependentRegions(t *testing.T) {
+	tu := NewAutoTuner(G0, L1)
+	feed := func(key string, g0, l1 uint64) {
+		vals := []uint64{g0, g0, l1, l1}
+		for _, v := range vals {
+			tu.Directive(key)
+			tu.Report(key, v)
+		}
+	}
+	feed("a", 100, 900)
+	feed("b", 900, 100)
+	if best, _ := tu.Best("a"); best != G0 {
+		t.Fatalf("region a best = %v", best)
+	}
+	if best, _ := tu.Best("b"); best != L1 {
+		t.Fatalf("region b best = %v", best)
+	}
+	if !tu.Settled() {
+		t.Fatal("not settled")
+	}
+	s := tu.Summary()
+	if !strings.Contains(s, "a: GLOBAL_SYNC,0") || !strings.Contains(s, "b: LOCAL_SYNC,1") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestAutoTunerUnsettledStates(t *testing.T) {
+	tu := NewAutoTuner()
+	if tu.Settled() {
+		t.Fatal("empty tuner settled")
+	}
+	if _, ok := tu.Best("nope"); ok {
+		t.Fatal("unknown region has a best")
+	}
+	tu.Directive("r")
+	if tu.Settled() {
+		t.Fatal("mid-trial tuner settled")
+	}
+	if !strings.Contains(tu.Summary(), "tuning") {
+		t.Fatalf("summary = %q", tu.Summary())
+	}
+}
+
+func TestAutoTunerDefaultCandidates(t *testing.T) {
+	tu := NewAutoTuner()
+	d := tu.Directive("r")
+	if d.Type != GlobalSync {
+		t.Fatalf("first default candidate = %v", d.Type)
+	}
+}
+
+func TestAutoTunerBadTrialsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTrials(0,0) did not panic")
+		}
+	}()
+	NewAutoTuner().SetTrials(0, 0)
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEnv: the parser must never panic and must round-trip values it
+// accepts.
+func FuzzParseEnv(f *testing.F) {
+	for _, seed := range []string{"", "GLOBAL_SYNC", "LOCAL_SYNC,3", "NONE", "bogus", "LOCAL_SYNC,-1", "GLOBAL_SYNC,1,2", " local_sync , 7 "} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseEnv(s)
+		if err != nil {
+			return
+		}
+		if cfg.Tokens < 0 {
+			t.Fatalf("accepted negative tokens from %q", s)
+		}
+		// Accepted configs must render to something the parser accepts again
+		// with the same meaning.
+		cfg2, err := ParseEnv(cfg.String())
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q failed: %v", s, cfg.String(), err)
+		}
+		if cfg2 != cfg {
+			t.Fatalf("round trip changed %v -> %v", cfg, cfg2)
+		}
+		_ = strings.ToUpper(s)
+	})
+}

@@ -1,0 +1,183 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHomeInterleaving(t *testing.T) {
+	d := New(16)
+	if d.Home(0) != 0 || d.Home(15) != 15 || d.Home(16) != 0 || d.Home(33) != 1 {
+		t.Fatal("home mapping not line-interleaved")
+	}
+}
+
+func TestEntryCreatedUncached(t *testing.T) {
+	d := New(4)
+	e := d.Entry(7)
+	if e.State != Uncached || e.Sharers != 0 || e.Owner != -1 {
+		t.Fatalf("fresh entry = %+v", *e)
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Peek(7) != e {
+		t.Fatal("Peek did not return existing entry")
+	}
+	if d.Peek(8) != nil {
+		t.Fatal("Peek created an entry")
+	}
+}
+
+func TestSharerLifecycle(t *testing.T) {
+	d := New(8)
+	e := d.Entry(1)
+	e.AddSharer(2)
+	e.AddSharer(5)
+	if e.State != SharedSt || e.SharerCount() != 2 {
+		t.Fatalf("after adds: %+v", *e)
+	}
+	if !e.HasSharer(2) || !e.HasSharer(5) || e.HasSharer(3) {
+		t.Fatal("HasSharer wrong")
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	e.RemoveSharer(2)
+	if e.State != SharedSt || e.SharerCount() != 1 {
+		t.Fatalf("after one remove: %+v", *e)
+	}
+	e.RemoveSharer(5)
+	if e.State != Uncached {
+		t.Fatalf("after last remove: %+v", *e)
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerLifecycle(t *testing.T) {
+	d := New(8)
+	e := d.Entry(1)
+	e.AddSharer(1)
+	e.AddSharer(2)
+	e.Sharers = 0
+	e.State = Uncached // simulate invalidation completion
+	e.SetOwner(3)
+	if e.State != ModifiedSt || e.Owner != 3 || !e.HasSharer(3) {
+		t.Fatalf("after SetOwner: %+v", *e)
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	e.ClearOwner()
+	if e.State != Uncached || e.Owner != -1 || e.Sharers != 0 {
+		t.Fatalf("after ClearOwner: %+v", *e)
+	}
+}
+
+func TestOtherSharers(t *testing.T) {
+	d := New(16)
+	e := d.Entry(0)
+	e.AddSharer(0)
+	e.AddSharer(3)
+	e.AddSharer(9)
+	got := e.OtherSharers(3)
+	if len(got) != 2 || got[0] != 0 || got[1] != 9 {
+		t.Fatalf("OtherSharers = %v, want [0 9]", got)
+	}
+	if got := e.OtherSharers(7); len(got) != 3 {
+		t.Fatalf("OtherSharers excluding non-sharer = %v", got)
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	e := &Entry{State: SharedSt, Sharers: 0, Owner: -1}
+	if e.Check() == nil {
+		t.Fatal("shared-with-no-sharers not detected")
+	}
+	e = &Entry{State: ModifiedSt, Sharers: 0b11, Owner: 0}
+	if e.Check() == nil {
+		t.Fatal("modified-with-extra-sharers not detected")
+	}
+	e = &Entry{State: Uncached, Sharers: 1, Owner: -1}
+	if e.Check() == nil {
+		t.Fatal("uncached-with-sharers not detected")
+	}
+}
+
+func TestBadNodeCountPanics(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestForEach(t *testing.T) {
+	d := New(4)
+	d.Entry(1).AddSharer(0)
+	d.Entry(2).SetOwner(3)
+	n := 0
+	d.ForEach(func(line uint64, e *Entry) {
+		n++
+		if err := e.Check(); err != nil {
+			t.Errorf("line %d: %v", line, err)
+		}
+	})
+	if n != 2 {
+		t.Fatalf("iterated %d entries, want 2", n)
+	}
+}
+
+// Property: any sequence of AddSharer/RemoveSharer/SetOwner/ClearOwner
+// operations leaves the entry in a state that passes Check, and
+// SharerCount always equals the popcount of the mask.
+func TestPropertyEntryInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := New(8)
+		e := d.Entry(0)
+		for _, op := range ops {
+			node := int(op % 8)
+			switch (op / 8) % 4 {
+			case 0:
+				if e.State != ModifiedSt {
+					e.AddSharer(node)
+				}
+			case 1:
+				if e.State == SharedSt {
+					e.RemoveSharer(node)
+				}
+			case 2:
+				// A legal SetOwner only happens when no other copies exist.
+				if e.State == Uncached {
+					e.SetOwner(node)
+				}
+			case 3:
+				if e.State == ModifiedSt {
+					e.ClearOwner()
+				}
+			}
+			if err := e.Check(); err != nil {
+				t.Log(err)
+				return false
+			}
+			n := 0
+			for m := e.Sharers; m != 0; m &= m - 1 {
+				n++
+			}
+			if n != e.SharerCount() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/omp"
+	"repro/internal/synth"
+)
+
+// CharRow is one synthetic workload's mode comparison.
+type CharRow struct {
+	Workload string
+	Desc     string
+	Walls    map[string]uint64
+	Winner   string
+}
+
+// Characterize runs every synthetic workload under the four static-
+// scheduling configurations and reports which execution mode wins — the
+// workload-type → best-mode map that frames where slipstream pays off
+// (communication-bound patterns) and where it does not (embarrassingly
+// parallel streaming, where double mode's extra parallelism wins).
+func Characterize(nodes int, p synth.Params, progress io.Writer) ([]CharRow, error) {
+	mp := machine.DefaultParams()
+	mp.Nodes = nodes
+	var rows []CharRow
+	for _, name := range synth.Names() {
+		row := CharRow{Workload: name, Walls: map[string]uint64{}}
+		for _, rc := range staticConfigs(mp, false) {
+			if progress != nil {
+				fmt.Fprintf(progress, "characterize %s/%s...\n", name, rc.name)
+			}
+			rt, err := omp.New(rc.cfg)
+			if err != nil {
+				return nil, err
+			}
+			w, err := synth.Build(name, rt, p)
+			if err != nil {
+				return nil, err
+			}
+			if err := rt.Run(w.Program); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, rc.name, err)
+			}
+			if err := w.Verify(); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, rc.name, err)
+			}
+			row.Desc = w.Desc
+			row.Walls[rc.name] = rt.M.WallTime()
+		}
+		best := ""
+		for cfgName, wall := range row.Walls {
+			if best == "" || wall < row.Walls[best] {
+				best = cfgName
+			}
+		}
+		row.Winner = best
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintCharacterization renders the workload → mode map.
+func PrintCharacterization(rows []CharRow, w io.Writer) {
+	fmt.Fprintln(w, "Synthetic workload characterization (cycles; lower is better)")
+	fmt.Fprintf(w, "%-9s %10s %10s %10s %10s  %s\n", "workload", "single", "double", "slip-G0", "slip-L1", "winner")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %10d %10d %10d %10d  %s\n", r.Workload,
+			r.Walls["single"], r.Walls["double"], r.Walls["slip-G0"], r.Walls["slip-L1"], r.Winner)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-9s %s\n", r.Workload, r.Desc)
+	}
+}
+
+// winnersByKind is used by tests to assert the expected characterization
+// shape without duplicating the harness.
+func winnersByKind(rows []CharRow) map[string]string {
+	out := map[string]string{}
+	for _, r := range rows {
+		out[r.Workload] = r.Winner
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// WriteCSV emits every result in the suite as CSV rows for downstream
+// plotting: identification, wall cycles, time-breakdown shares, and the
+// shared-request classification shares.
+func (s *Suite) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"kernel", "config", "size", "cycles"}
+	for c := stats.CatBusy; c < stats.NumCats; c++ {
+		header = append(header, c.String())
+	}
+	for _, kind := range []stats.ReqKind{stats.ReqRead, stats.ReqReadEx} {
+		for _, role := range []stats.Role{stats.RoleA, stats.RoleR} {
+			for o := stats.OutTimely; o < stats.NumOutcomes; o++ {
+				header = append(header, fmt.Sprintf("%s_%s_%s", kind, role, o))
+			}
+		}
+	}
+	header = append(header, "recoveries")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	emit := func(m map[string]map[string]Result) error {
+		for _, kernel := range sortedKernels(m) {
+			rs := m[kernel]
+			for _, cfgName := range sortedConfigs(rs) {
+				r := rs[cfgName]
+				row := []string{r.Kernel, r.Config, r.Size, fmt.Sprint(r.Wall)}
+				sh := r.Breakdown.Shares()
+				for c := stats.CatBusy; c < stats.NumCats; c++ {
+					row = append(row, fmt.Sprintf("%.4f", sh[c]))
+				}
+				for _, kind := range []stats.ReqKind{stats.ReqRead, stats.ReqReadEx} {
+					for _, role := range []stats.Role{stats.RoleA, stats.RoleR} {
+						for o := stats.OutTimely; o < stats.NumOutcomes; o++ {
+							row = append(row, fmt.Sprintf("%.4f", r.Class.Share(role, kind, o)))
+						}
+					}
+				}
+				row = append(row, fmt.Sprint(r.Recoveries))
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if s.Static != nil {
+		if err := emit(s.Static); err != nil {
+			return err
+		}
+	}
+	if s.Dynamic != nil {
+		if err := emit(s.Dynamic); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// sortedConfigs returns a result map's config names in a stable order.
+func sortedConfigs(rs map[string]Result) []string {
+	order := []string{"single", "double", "slip-G0", "slip-L1", "single-dyn", "slip-G0-dyn"}
+	var out []string
+	for _, n := range order {
+		if _, ok := rs[n]; ok {
+			out = append(out, n)
+		}
+	}
+	for n := range rs {
+		found := false
+		for _, o := range out {
+			if o == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, n)
+		}
+	}
+	return out
+}

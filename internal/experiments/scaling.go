@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/npb"
+	"repro/internal/omp"
+)
+
+// ScalingRow is one machine size of a fixed-problem-size scaling study.
+type ScalingRow struct {
+	Nodes int
+	Walls map[string]uint64 // config name → simulated cycles
+}
+
+// scalingConfigs are the modes compared in the scaling study.
+var scalingConfigs = []string{"single", "double", "slip-G0"}
+
+// RunScaling runs kernel at a fixed problem size across machine sizes —
+// the paper's motivating scenario (§1–2): as CMPs are added, single/double
+// speedup saturates once communication dominates, and slipstream extends
+// the scaling by spending the second processor on latency instead of
+// parallelism.
+func RunScaling(kernelName string, nodeCounts []int, scale npb.Scale, verify bool, progress io.Writer) ([]ScalingRow, error) {
+	k, err := npb.ByName(kernelName)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ScalingRow
+	for _, n := range nodeCounts {
+		p := machine.DefaultParams()
+		p.Nodes = n
+		row := ScalingRow{Nodes: n, Walls: map[string]uint64{}}
+		for _, name := range scalingConfigs {
+			var cfg omp.Config
+			switch name {
+			case "single":
+				cfg = omp.Config{Machine: p, Mode: core.ModeSingle}
+			case "double":
+				cfg = omp.Config{Machine: p, Mode: core.ModeDouble}
+			case "slip-G0":
+				cfg = omp.Config{Machine: p, Mode: core.ModeSlipstream, Slipstream: core.G0}
+			}
+			if progress != nil {
+				fmt.Fprintf(progress, "scaling %s: %d nodes, %s...\n", k.Name, n, name)
+			}
+			r, err := RunOne(k, name, cfg, scale, verify)
+			if err != nil {
+				return nil, err
+			}
+			row.Walls[name] = r.Wall
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintScaling renders the study as speedup over the smallest machine's
+// single-mode run.
+func PrintScaling(kernel string, rows []ScalingRow, w io.Writer) {
+	if len(rows) == 0 {
+		return
+	}
+	base := rows[0].Walls["single"]
+	fmt.Fprintf(w, "Fixed-size scaling, %s (speedup vs single mode on %d CMP(s))\n", kernel, rows[0].Nodes)
+	fmt.Fprintf(w, "%-6s", "CMPs")
+	for _, c := range scalingConfigs {
+		fmt.Fprintf(w, " %10s", c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-6d", row.Nodes)
+		for _, c := range scalingConfigs {
+			fmt.Fprintf(w, " %10.3f", float64(base)/float64(row.Walls[c]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// TokenSweepRow is one token-count setting of a token-policy sweep.
+type TokenSweepRow struct {
+	Cfg  core.Config
+	Wall uint64
+}
+
+// RunTokenSweep measures a kernel under a range of A–R synchronization
+// policies (both insertion points, several initial token counts).
+func RunTokenSweep(kernelName string, nodes int, scale npb.Scale, tokenCounts []int, verify bool, progress io.Writer) ([]TokenSweepRow, error) {
+	k, err := npb.ByName(kernelName)
+	if err != nil {
+		return nil, err
+	}
+	p := machine.DefaultParams()
+	p.Nodes = nodes
+	var rows []TokenSweepRow
+	for _, typ := range []core.SyncType{core.GlobalSync, core.LocalSync} {
+		for _, tok := range tokenCounts {
+			sc := core.Config{Type: typ, Tokens: tok}
+			if progress != nil {
+				fmt.Fprintf(progress, "token sweep %s: %s...\n", k.Name, sc)
+			}
+			cfg := omp.Config{Machine: p, Mode: core.ModeSlipstream, Slipstream: sc}
+			r, err := RunOne(k, sc.String(), cfg, scale, verify)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, TokenSweepRow{Cfg: sc, Wall: r.Wall})
+		}
+	}
+	return rows, nil
+}
+
+// PrintTokenSweep renders the sweep with speedups versus the first row.
+func PrintTokenSweep(kernel string, rows []TokenSweepRow, w io.Writer) {
+	if len(rows) == 0 {
+		return
+	}
+	base := rows[0].Wall
+	fmt.Fprintf(w, "A-R synchronization sweep, %s\n", kernel)
+	for _, row := range rows {
+		fmt.Fprintf(w, "  %-16s %12d cycles   %+6.1f%%\n", row.Cfg, row.Wall,
+			100*(float64(base)/float64(row.Wall)-1))
+	}
+}

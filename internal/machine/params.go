@@ -1,0 +1,117 @@
+// Package machine assembles the simulated multiprocessor the paper
+// evaluates on: N dual-processor CMP nodes, each with split per-processor
+// L1 caches and a shared unified L2, connected by a fixed-delay network
+// with contention modelled at the network inputs/outputs and at the memory
+// controllers, and kept coherent by an invalidate-based fully-mapped
+// directory protocol (paper §5 and Table 1).
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Params are the simulated system parameters (paper Table 1). Latencies
+// given in nanoseconds are converted to cycles at ClockGHz.
+type Params struct {
+	ClockGHz float64 // processor clock (1.2 GHz)
+	Nodes    int     // number of dual-processor CMP nodes (16)
+
+	LineBytes int // cache line size
+
+	L1Bytes     int      // per-processor L1 size (16 KB)
+	L1Assoc     int      // L1 associativity (2)
+	L1HitCycles sim.Time // L1 hit latency (1 cycle)
+
+	L2Bytes     int      // per-CMP unified L2 size (1 MB)
+	L2Assoc     int      // L2 associativity (4)
+	L2HitCycles sim.Time // L2 hit latency (10 cycles)
+
+	// SimOS memory-system parameters (ns). Bus/NI/Mem values are used as
+	// resource occupancies for contention; the Local/Remote minima are the
+	// end-to-end uncontended miss latencies the paper quotes (170/290 ns).
+	BusNS          int // node bus occupancy per transaction (30)
+	PILocalDCNS    int // processor interface local dc time (10)
+	NILocalDCNS    int // network interface local dc time (60)
+	NIRemoteDCNS   int // network interface remote dc time (10)
+	NetNS          int // network traversal per hop (50)
+	MemNS          int // memory controller occupancy (50)
+	LocalMissNS    int // minimum latency to fill L2 from local memory (170)
+	RemoteMissNS   int // minimum latency to fill L2 from remote memory (290)
+	DirtyForwardNS int // extra for 3-hop forwarding from a dirty owner
+	InvalPerShNS   int // per-sharer serialization for invalidation fan-out
+
+	RegAccessCycles sim.Time // CMP pair-register (hardware semaphore) access
+
+	SpinPollCycles sim.Time // spin-wait polling interval
+
+	Topology Topology // interconnect model (paper default: fixed delay)
+
+	TraceCap int // retain the last N simulation events (0 = tracing off)
+
+	TrackClass bool // classify shared requests for Figures 3/5
+}
+
+// DefaultParams returns the paper's Table 1 configuration.
+func DefaultParams() Params {
+	return Params{
+		ClockGHz:        1.2,
+		Nodes:           16,
+		LineBytes:       64,
+		L1Bytes:         16 * 1024,
+		L1Assoc:         2,
+		L1HitCycles:     1,
+		L2Bytes:         1024 * 1024,
+		L2Assoc:         4,
+		L2HitCycles:     10,
+		BusNS:           30,
+		PILocalDCNS:     10,
+		NILocalDCNS:     60,
+		NIRemoteDCNS:    10,
+		NetNS:           50,
+		MemNS:           50,
+		LocalMissNS:     170,
+		RemoteMissNS:    290,
+		DirtyForwardNS:  70, // one extra network hop + two remote DC times
+		InvalPerShNS:    10,
+		RegAccessCycles: 2,
+		SpinPollCycles:  20,
+		TrackClass:      true,
+	}
+}
+
+// Cyc converts nanoseconds to clock cycles, rounding to nearest.
+func (p Params) Cyc(ns int) sim.Time {
+	return sim.Time(float64(ns)*p.ClockGHz + 0.5)
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.ClockGHz <= 0:
+		return fmt.Errorf("machine: clock %v GHz invalid", p.ClockGHz)
+	case p.Nodes <= 0 || p.Nodes > 64:
+		return fmt.Errorf("machine: node count %d out of range", p.Nodes)
+	case p.LineBytes <= 0 || p.LineBytes&(p.LineBytes-1) != 0:
+		return fmt.Errorf("machine: line size %d not a power of two", p.LineBytes)
+	case p.RemoteMissNS < p.LocalMissNS:
+		return fmt.Errorf("machine: remote miss (%d ns) below local miss (%d ns)", p.RemoteMissNS, p.LocalMissNS)
+	}
+	return nil
+}
+
+// Table1 renders the configuration in the shape of the paper's Table 1.
+func (p Params) Table1() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Simulated System Parameters\n")
+	fmt.Fprintf(&sb, "  CPU: dual-processor CMP model, clock %.1f GHz, %d nodes\n", p.ClockGHz, p.Nodes)
+	fmt.Fprintf(&sb, "  L1 caches (I/D): %d KB, %d-way, hit %d cycle(s)\n", p.L1Bytes/1024, p.L1Assoc, p.L1HitCycles)
+	fmt.Fprintf(&sb, "  L2 cache (unified, shared): %d MB, %d-way, hit %d cycles\n", p.L2Bytes/(1024*1024), p.L2Assoc, p.L2HitCycles)
+	fmt.Fprintf(&sb, "  Memory parameters (ns): BusTime=%d PILocalDCTime=%d NILocalDCTime=%d NIRemoteDCTime=%d NetTime=%d MemTime=%d\n",
+		p.BusNS, p.PILocalDCNS, p.NILocalDCNS, p.NIRemoteDCNS, p.NetNS, p.MemNS)
+	fmt.Fprintf(&sb, "  Minimum L2 fill latency: local %d ns, remote %d ns\n", p.LocalMissNS, p.RemoteMissNS)
+	fmt.Fprintf(&sb, "  Line size: %d B\n", p.LineBytes)
+	return sb.String()
+}

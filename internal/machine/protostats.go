@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ProtoStats counts coherence-protocol events machine-wide. The paper's
+// analysis (§5.1) reasons about exactly these: clean 2-hop fills, dirty
+// 3-hop forwards, upgrades, invalidation fan-out, writebacks, and the
+// merged requests that make A-Late coverage possible.
+type ProtoStats struct {
+	LocalFills   uint64 // L2 fills served by the local home memory
+	RemoteFills  uint64 // L2 fills served by a remote home (clean, 2-hop)
+	DirtyFwd     uint64 // fills forwarded from a dirty owner (3-hop)
+	Upgrades     uint64 // stores hitting a Shared L2 line (ownership only)
+	Invals       uint64 // sharer copies invalidated by stores
+	SelfInvals   uint64 // owner copies dropped by A-stream read hints
+	Writebacks   uint64 // dirty L2 victims written back to memory
+	Merged       uint64 // accesses merged into an in-flight fill
+	L1BackInvals uint64 // L1 lines removed to preserve L2 inclusion
+}
+
+// String renders the counters on one line.
+func (s *ProtoStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fills: local=%d remote=%d 3hop=%d", s.LocalFills, s.RemoteFills, s.DirtyFwd)
+	fmt.Fprintf(&sb, "  upgrades=%d invals=%d selfinv=%d wb=%d merged=%d l1-backinv=%d",
+		s.Upgrades, s.Invals, s.SelfInvals, s.Writebacks, s.Merged, s.L1BackInvals)
+	return sb.String()
+}
+
+// Fills returns the total number of L2 fills.
+func (s *ProtoStats) Fills() uint64 { return s.LocalFills + s.RemoteFills + s.DirtyFwd }
+
+// NodeReport summarizes one node's resource utilization over a run.
+type NodeReport struct {
+	Node     int
+	BusUses  uint64
+	BusBusy  sim.Time
+	BusWait  sim.Time
+	DCUses   uint64
+	DCBusy   sim.Time
+	DCWait   sim.Time
+	MemUses  uint64
+	MemBusy  sim.Time
+	MemWait  sim.Time
+	L2Misses uint64
+	L2Evicts uint64
+}
+
+// NodeReports collects per-node resource statistics.
+func (m *Machine) NodeReports() []NodeReport {
+	out := make([]NodeReport, len(m.Nodes))
+	for i, nd := range m.Nodes {
+		out[i] = NodeReport{
+			Node:     nd.ID,
+			BusUses:  nd.Bus.Uses(),
+			BusBusy:  nd.Bus.BusyTotal(),
+			BusWait:  nd.Bus.WaitTotal(),
+			DCUses:   nd.DC.Uses(),
+			DCBusy:   nd.DC.BusyTotal(),
+			DCWait:   nd.DC.WaitTotal(),
+			MemUses:  nd.Mem.Uses(),
+			MemBusy:  nd.Mem.BusyTotal(),
+			MemWait:  nd.Mem.WaitTotal(),
+			L2Misses: nd.L2.Misses,
+			L2Evicts: nd.L2.Evicts,
+		}
+	}
+	return out
+}
+
+// UtilizationReport renders per-node resource utilization relative to the
+// run's wall time (hot-home imbalance shows up here).
+func (m *Machine) UtilizationReport() string {
+	wall := m.WallTime()
+	if wall == 0 {
+		return "(no simulated time)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s %12s %9s %9s %9s\n", "node", "L2 misses", "bus-util", "dc-util", "mem-util")
+	for _, r := range m.NodeReports() {
+		fmt.Fprintf(&sb, "%-5d %12d %8.1f%% %8.1f%% %8.1f%%\n", r.Node, r.L2Misses,
+			100*float64(r.BusBusy)/float64(wall),
+			100*float64(r.DCBusy)/float64(wall),
+			100*float64(r.MemBusy)/float64(wall))
+	}
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Snapshot is a machine's end-of-run measurement record in a stable,
+// serializable form (the -json output of cmd/slipsim).
+type Snapshot struct {
+	Nodes     int               `json:"nodes"`
+	ClockGHz  float64           `json:"clock_ghz"`
+	Topology  string            `json:"topology"`
+	WallCycle uint64            `json:"wall_cycles"`
+	WallMS    float64           `json:"wall_ms"`
+	Breakdown map[string]uint64 `json:"breakdown_cycles"`
+	Protocol  ProtoStats        `json:"protocol"`
+	Class     map[string]uint64 `json:"classification,omitempty"`
+	PerNode   []NodeReport      `json:"per_node,omitempty"`
+}
+
+// TakeSnapshot collects the machine's measurements after Run. When perNode
+// is set the per-node resource reports are included.
+func (m *Machine) TakeSnapshot(perNode bool) Snapshot {
+	bd := m.TotalBreakdown()
+	s := Snapshot{
+		Nodes:     m.P.Nodes,
+		ClockGHz:  m.P.ClockGHz,
+		Topology:  m.P.Topology.String(),
+		WallCycle: m.WallTime(),
+		WallMS:    float64(m.WallTime()) / (m.P.ClockGHz * 1e6),
+		Breakdown: map[string]uint64{},
+		Protocol:  m.Proto,
+	}
+	for c := stats.CatBusy; c < stats.NumCats; c++ {
+		s.Breakdown[c.String()] = bd[c]
+	}
+	cls := map[string]uint64{}
+	for r := stats.RoleR; r < stats.NumRoles; r++ {
+		for k := stats.ReqRead; k < stats.NumKinds; k++ {
+			for o := stats.OutTimely; o < stats.NumOutcomes; o++ {
+				if n := m.Class.Counts[r][k][o]; n > 0 {
+					cls[r.String()+"-"+k.String()+"-"+o.String()] = n
+				}
+			}
+		}
+	}
+	if len(cls) > 0 {
+		s.Class = cls
+	}
+	if perNode {
+		s.PerNode = m.NodeReports()
+	}
+	return s
+}
+
+// WriteJSON marshals the snapshot with indentation.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

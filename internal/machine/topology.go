@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Topology selects the interconnect model.
+type Topology int
+
+// Interconnect models. The paper's processor interconnect "is modeled as a
+// fixed-delay network" (§5) — that is TopoFixed, the default. TopoMesh2D
+// is an extension: nodes on a near-square 2-D mesh with NetTime charged
+// per hop, which makes home-node distance visible in remote latencies.
+const (
+	TopoFixed Topology = iota
+	TopoMesh2D
+)
+
+// String returns the topology name.
+func (t Topology) String() string {
+	switch t {
+	case TopoFixed:
+		return "fixed-delay"
+	case TopoMesh2D:
+		return "mesh-2d"
+	}
+	return fmt.Sprintf("topology(%d)", int(t))
+}
+
+// meshDims returns the mesh shape for n nodes: the most square rows×cols
+// factorization with rows*cols >= n.
+func meshDims(n int) (rows, cols int) {
+	rows = 1
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			rows = r
+		}
+	}
+	return rows, n / rows
+}
+
+// hops returns the Manhattan distance between two nodes on the mesh.
+func (m *Machine) hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	_, cols := meshDims(m.P.Nodes)
+	ra, ca := a/cols, a%cols
+	rb, cb := b/cols, b%cols
+	d := ra - rb
+	if d < 0 {
+		d = -d
+	}
+	e := ca - cb
+	if e < 0 {
+		e = -e
+	}
+	return d + e
+}
+
+// meshExtra returns the additional round-trip propagation latency for a
+// transaction between two nodes beyond the fixed-delay model's single-hop
+// assumption (zero under TopoFixed or for adjacent/equal nodes).
+func (m *Machine) meshExtra(a, b int) sim.Time {
+	if m.P.Topology != TopoMesh2D || a == b {
+		return 0
+	}
+	h := m.hops(a, b)
+	if h <= 1 {
+		return 0
+	}
+	return m.P.Cyc(2 * (h - 1) * m.P.NetNS)
+}

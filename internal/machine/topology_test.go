@@ -1,0 +1,71 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+func TestMeshDims(t *testing.T) {
+	for _, tc := range []struct{ n, rows, cols int }{
+		{16, 4, 4}, {4, 2, 2}, {8, 2, 4}, {2, 1, 2}, {9, 3, 3}, {12, 3, 4},
+	} {
+		r, c := meshDims(tc.n)
+		if r != tc.rows || c != tc.cols {
+			t.Errorf("meshDims(%d) = %dx%d, want %dx%d", tc.n, r, c, tc.rows, tc.cols)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	p := DefaultParams() // 16 nodes: 4x4
+	p.Topology = TopoMesh2D
+	m := New(p)
+	for _, tc := range []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 1}, {0, 5, 2}, {0, 15, 6}, {3, 12, 6},
+	} {
+		if got := m.hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if m.hops(tc.b, tc.a) != tc.want {
+			t.Errorf("hops not symmetric for (%d,%d)", tc.a, tc.b)
+		}
+	}
+}
+
+func TestMeshExtraZeroUnderFixed(t *testing.T) {
+	m := New(DefaultParams())
+	if m.meshExtra(0, 15) != 0 {
+		t.Fatal("fixed topology charged mesh hops")
+	}
+}
+
+func TestMeshLatencyGrowsWithDistance(t *testing.T) {
+	p := DefaultParams()
+	p.Topology = TopoMesh2D
+	m := New(p)
+	// Line homed at node 1 (adjacent) vs node 15 (6 hops) from node 0.
+	var near, far sim.Time
+	m.Start(0, func(pr *Proc) {
+		t0 := pr.Ctx.Now()
+		pr.Load(shmem.Addr(1 * m.P.LineBytes)) // home node 1
+		near = pr.Ctx.Now() - t0
+		t0 = pr.Ctx.Now()
+		pr.Load(shmem.Addr(15 * m.P.LineBytes)) // home node 15
+		far = pr.Ctx.Now() - t0
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantExtra := m.P.Cyc(2 * 5 * m.P.NetNS) // (6-1) extra hops each way
+	if far != near+wantExtra {
+		t.Fatalf("far-near = %d, want %d (near=%d far=%d)", far-near, wantExtra, near, far)
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if TopoFixed.String() != "fixed-delay" || TopoMesh2D.String() != "mesh-2d" {
+		t.Fatal("topology strings")
+	}
+}

@@ -1,0 +1,180 @@
+package npb
+
+// Small dense kernels used by the BT (5×5 block tridiagonal) and SP
+// (scalar pentadiagonal) line solvers. Blocks are thread-private working
+// state (NPB keeps the lhs arrays private per line), so operations here
+// are pure Go; callers charge the corresponding compute cycles.
+
+// vec5 is one grid cell's five solution components.
+type vec5 [5]float64
+
+// mat5 is a 5×5 block, row-major.
+type mat5 [25]float64
+
+// ident5 returns the identity scaled by d.
+func ident5(d float64) mat5 {
+	var m mat5
+	for i := 0; i < 5; i++ {
+		m[i*5+i] = d
+	}
+	return m
+}
+
+// addM returns a + b.
+func addM(a, b mat5) mat5 {
+	var out mat5
+	for i := range out {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// scaleM returns s*a.
+func scaleM(a mat5, s float64) mat5 {
+	var out mat5
+	for i := range out {
+		out[i] = a[i] * s
+	}
+	return out
+}
+
+// mulMM returns a*b (25 dot products).
+func mulMM(a, b mat5) mat5 {
+	var out mat5
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			s := 0.0
+			for k := 0; k < 5; k++ {
+				s += a[i*5+k] * b[k*5+j]
+			}
+			out[i*5+j] = s
+		}
+	}
+	return out
+}
+
+// mulMV returns a*v.
+func mulMV(a mat5, v vec5) vec5 {
+	var out vec5
+	for i := 0; i < 5; i++ {
+		s := 0.0
+		for k := 0; k < 5; k++ {
+			s += a[i*5+k] * v[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// subV returns a - b.
+func subV(a, b vec5) vec5 {
+	var out vec5
+	for i := range out {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// subM returns a - b.
+func subM(a, b mat5) mat5 {
+	var out mat5
+	for i := range out {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// inv5 inverts a (diagonally dominant) 5×5 block by Gauss-Jordan
+// elimination without pivoting — the BT blocks are constructed dominant,
+// exactly as NPB's binvcrhs assumes invertibility.
+func inv5(a mat5) mat5 {
+	inv := ident5(1)
+	for col := 0; col < 5; col++ {
+		piv := 1.0 / a[col*5+col]
+		for j := 0; j < 5; j++ {
+			a[col*5+j] *= piv
+			inv[col*5+j] *= piv
+		}
+		for row := 0; row < 5; row++ {
+			if row == col {
+				continue
+			}
+			f := a[row*5+col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 5; j++ {
+				a[row*5+j] -= f * a[col*5+j]
+				inv[row*5+j] -= f * inv[col*5+j]
+			}
+		}
+	}
+	return inv
+}
+
+// blockTriSolve solves a block-tridiagonal system in place:
+// a[i]·x[i-1] + b[i]·x[i] + c[i]·x[i+1] = rhs[i], i = 0..m-1
+// (a[0] and c[m-1] unused), returning x in rhs. This is the block Thomas
+// algorithm NPB's x/y/z_solve implement with binvcrhs/matmul_sub.
+func blockTriSolve(a, b, c []mat5, rhs []vec5) {
+	m := len(rhs)
+	// Forward elimination.
+	binv := inv5(b[0])
+	cp := make([]mat5, m) // c' carried terms
+	cp[0] = mulMM(binv, c[0])
+	rhs[0] = mulMV(binv, rhs[0])
+	for i := 1; i < m; i++ {
+		bm := subM(b[i], mulMM(a[i], cp[i-1]))
+		binv = inv5(bm)
+		if i < m-1 {
+			cp[i] = mulMM(binv, c[i])
+		}
+		rhs[i] = mulMV(binv, subV(rhs[i], mulMV(a[i], rhs[i-1])))
+	}
+	// Back substitution.
+	for i := m - 2; i >= 0; i-- {
+		rhs[i] = subV(rhs[i], mulMV(cp[i], rhs[i+1]))
+	}
+}
+
+// pentaSolve solves a scalar pentadiagonal system with constant stencil
+// coefficients (e2, e1, d, f1, f2) in place: the two-pass elimination SP's
+// x/y/z_solve perform. rhs has length m; off-diagonals beyond the ends are
+// absent.
+func pentaSolve(e2, e1, d, f1, f2 float64, rhs []float64) {
+	m := len(rhs)
+	if m == 0 {
+		return
+	}
+	// Working copies of the (row-varying after elimination) bands.
+	diag := make([]float64, m)
+	up1 := make([]float64, m)
+	up2 := make([]float64, m)
+	lo1 := make([]float64, m)
+	lo2 := make([]float64, m)
+	for i := 0; i < m; i++ {
+		diag[i], up1[i], up2[i], lo1[i], lo2[i] = d, f1, f2, e1, e2
+	}
+	// Forward elimination of the two sub-diagonals: row i-1 clears the
+	// first sub-diagonal of row i and the second sub-diagonal of row i+1.
+	for i := 1; i < m; i++ {
+		f := lo1[i] / diag[i-1]
+		diag[i] -= f * up1[i-1]
+		up1[i] -= f * up2[i-1]
+		rhs[i] -= f * rhs[i-1]
+		if i+1 < m {
+			g := lo2[i+1] / diag[i-1]
+			lo1[i+1] -= g * up1[i-1]
+			diag[i+1] -= g * up2[i-1]
+			rhs[i+1] -= g * rhs[i-1]
+		}
+	}
+	// Back substitution.
+	rhs[m-1] /= diag[m-1]
+	if m >= 2 {
+		rhs[m-2] = (rhs[m-2] - up1[m-2]*rhs[m-1]) / diag[m-2]
+	}
+	for i := m - 3; i >= 0; i-- {
+		rhs[i] = (rhs[i] - up1[i]*rhs[i+1] - up2[i]*rhs[i+2]) / diag[i]
+	}
+}

@@ -1,0 +1,205 @@
+package npb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentAndMul(t *testing.T) {
+	a := ident5(2)
+	b := ident5(3)
+	c := mulMM(a, b)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 6
+			}
+			if c[i*5+j] != want {
+				t.Fatalf("c[%d,%d] = %v", i, j, c[i*5+j])
+			}
+		}
+	}
+}
+
+func TestInv5(t *testing.T) {
+	g := newLCG(1)
+	for trial := 0; trial < 20; trial++ {
+		var a mat5
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				a[i*5+j] = 0.2 * (g.f64() - 0.5)
+			}
+			a[i*5+i] = 3 + g.f64()
+		}
+		inv := inv5(a)
+		prod := mulMM(a, inv)
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(prod[i*5+j]-want) > 1e-10 {
+					t.Fatalf("trial %d: (A·A⁻¹)[%d,%d] = %v", trial, i, j, prod[i*5+j])
+				}
+			}
+		}
+	}
+}
+
+func TestMulMVAndSub(t *testing.T) {
+	m := ident5(2)
+	v := vec5{1, 2, 3, 4, 5}
+	got := mulMV(m, v)
+	for i := range got {
+		if got[i] != 2*v[i] {
+			t.Fatalf("mulMV = %v", got)
+		}
+	}
+	d := subV(got, v)
+	for i := range d {
+		if d[i] != v[i] {
+			t.Fatalf("subV = %v", d)
+		}
+	}
+}
+
+// multiplyTri computes y = T x for the block tridiagonal T.
+func multiplyTri(a, b, c []mat5, x []vec5) []vec5 {
+	m := len(x)
+	y := make([]vec5, m)
+	for i := 0; i < m; i++ {
+		y[i] = mulMV(b[i], x[i])
+		if i > 0 {
+			yi := mulMV(a[i], x[i-1])
+			for k := range y[i] {
+				y[i][k] += yi[k]
+			}
+		}
+		if i < m-1 {
+			yi := mulMV(c[i], x[i+1])
+			for k := range y[i] {
+				y[i][k] += yi[k]
+			}
+		}
+	}
+	return y
+}
+
+func TestBlockTriSolve(t *testing.T) {
+	g := newLCG(5)
+	for _, m := range []int{1, 2, 3, 7, 12} {
+		a := make([]mat5, m)
+		b := make([]mat5, m)
+		c := make([]mat5, m)
+		xTrue := make([]vec5, m)
+		for i := 0; i < m; i++ {
+			a[i], b[i], c[i] = btBlocks(g.f64() * 3)
+			for k := 0; k < 5; k++ {
+				xTrue[i][k] = g.f64() - 0.5
+			}
+		}
+		rhs := multiplyTri(a, b, c, xTrue)
+		blockTriSolve(a, b, c, rhs)
+		for i := 0; i < m; i++ {
+			for k := 0; k < 5; k++ {
+				if math.Abs(rhs[i][k]-xTrue[i][k]) > 1e-9 {
+					t.Fatalf("m=%d: x[%d][%d] = %v, want %v", m, i, k, rhs[i][k], xTrue[i][k])
+				}
+			}
+		}
+	}
+}
+
+// multiplyPenta computes y = P x for the constant-coefficient banded P.
+func multiplyPenta(e2, e1, d, f1, f2 float64, x []float64) []float64 {
+	m := len(x)
+	y := make([]float64, m)
+	for i := range x {
+		y[i] = d * x[i]
+		if i >= 1 {
+			y[i] += e1 * x[i-1]
+		}
+		if i >= 2 {
+			y[i] += e2 * x[i-2]
+		}
+		if i+1 < m {
+			y[i] += f1 * x[i+1]
+		}
+		if i+2 < m {
+			y[i] += f2 * x[i+2]
+		}
+	}
+	return y
+}
+
+func TestPentaSolve(t *testing.T) {
+	g := newLCG(9)
+	for _, m := range []int{1, 2, 3, 4, 10, 25} {
+		xTrue := make([]float64, m)
+		for i := range xTrue {
+			xTrue[i] = g.f64() - 0.5
+		}
+		rhs := multiplyPenta(spE2, spE1, spD, spE1, spE2, xTrue)
+		pentaSolve(spE2, spE1, spD, spE1, spE2, rhs)
+		for i := range xTrue {
+			if math.Abs(rhs[i]-xTrue[i]) > 1e-9 {
+				t.Fatalf("m=%d: x[%d] = %v, want %v", m, i, rhs[i], xTrue[i])
+			}
+		}
+	}
+}
+
+// Property: pentaSolve is an exact inverse of multiplyPenta for random
+// right-hand sides and diagonally dominant coefficients.
+func TestPropertyPentaRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 40 {
+			vals = vals[:40]
+		}
+		x := make([]float64, len(vals))
+		for i, v := range vals {
+			// Clamp to a sane range; NaN/Inf inputs are not grid states.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			x[i] = math.Mod(v, 100)
+		}
+		rhs := multiplyPenta(spE2, spE1, spD, spE1, spE2, x)
+		pentaSolve(spE2, spE1, spD, spE1, spE2, rhs)
+		for i := range x {
+			if math.Abs(rhs[i]-x[i]) > 1e-6*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTBlocksDominant(t *testing.T) {
+	for _, u0 := range []float64{-1e9, -3, -0.5, 0, 0.5, 3, 1e9} {
+		a, b, c := btBlocks(u0)
+		for i := 0; i < 5; i++ {
+			diag := math.Abs(b[i*5+i])
+			var off float64
+			for j := 0; j < 5; j++ {
+				if j != i {
+					off += math.Abs(b[i*5+j])
+				}
+				off += math.Abs(a[i*5+j]) + math.Abs(c[i*5+j])
+			}
+			// Generalized row dominance of the block system.
+			if diag <= off {
+				t.Fatalf("u0=%v row %d: diag %v <= off %v", u0, i, diag, off)
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package npb
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+	"repro/internal/shmem"
+)
+
+// BT is the NPB block-tridiagonal kernel: an ADI scheme where each time
+// step computes a right-hand side from a 3-D stencil and then solves
+// independent block-tridiagonal systems (5×5 blocks) along every x, y, and
+// z line of the grid, finishing with a solution update.
+//
+// Substitution vs NPB 2.3: the Navier–Stokes Jacobian blocks are replaced
+// by synthetic diagonally-dominant blocks that still depend on the local
+// solution value (so the load stream matches), and the forcing is a fixed
+// deterministic field. Line structure, solver (block Thomas with 5×5
+// inverses), sweep order, and barrier cadence are those of BT.
+const (
+	btDt    = 0.1
+	btScale = 0.99 // post-solve normalization factor (xinvr-style sweep)
+)
+
+type btSize struct {
+	n     int
+	iters int
+}
+
+func btSizeFor(s Scale) btSize {
+	switch s {
+	case ScaleTest:
+		return btSize{n: 8, iters: 1}
+	case ScaleSmall:
+		return btSize{n: 10, iters: 2}
+	default:
+		return btSize{n: 12, iters: 3} // class-S edge: 100 interior lines resist even 32-way partition
+	}
+}
+
+// btCoupling are the constant off-diagonal coupling patterns of the
+// synthetic Jacobian blocks.
+var btKb, btKa, btKc = btPatterns()
+
+func btPatterns() (kb, ka, kc mat5) {
+	g := newLCG(23)
+	for i := range kb {
+		kb[i] = 0.05 * (g.f64() - 0.5)
+		ka[i] = 0.05 * (g.f64() - 0.5)
+		kc[i] = 0.05 * (g.f64() - 0.5)
+	}
+	return kb, ka, kc
+}
+
+// btBlocks builds the (A, B, C) blocks for a cell from its first solution
+// component (bounded, preserving diagonal dominance).
+func btBlocks(u0 float64) (a, b, c mat5) {
+	s := u0 / (1 + absf(u0))
+	b = addM(ident5(4+0.5*s), btKb)
+	a = subM(scaleM(ident5(1), -1), btKa)
+	c = subM(scaleM(ident5(1), -1), btKc)
+	return a, b, c
+}
+
+// btState bundles the shared arrays.
+type btState struct {
+	n       int
+	u, rhs  *shmem.F64 // 5 components per cell, cell-major
+	forcing *shmem.F64
+}
+
+// uix returns the shared-array index for component c of cell id.
+func uix(id, c int) int { return id*5 + c }
+
+// BuildBT constructs the BT benchmark instance on rt.
+func BuildBT(rt *omp.Runtime, s Scale) *Instance {
+	sz := btSizeFor(s)
+	n := sz.n
+	st := &btState{
+		n:       n,
+		u:       rt.NewF64(5 * n * n * n),
+		rhs:     rt.NewF64(5 * n * n * n),
+		forcing: rt.NewF64(5 * n * n * n),
+	}
+	g := newLCG(31)
+	for k := 1; k < n-1; k++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				for c := 0; c < 5; c++ {
+					st.forcing.Set(uix(idx3(i, j, k, n), c), g.f64()-0.5)
+				}
+			}
+		}
+	}
+
+	program := func(mt *omp.Thread) {
+		for it := 0; it < sz.iters; it++ {
+			mt.Parallel(func(t *omp.Thread) {
+				btComputeRHS(t, st)
+				btSolveDir(t, st, 0)
+				btScaleRHS(t, st, btScale)
+				btSolveDir(t, st, 1)
+				btScaleRHS(t, st, btScale)
+				btSolveDir(t, st, 2)
+				btScaleRHS(t, st, btScale)
+				btAdd(t, st)
+			})
+		}
+	}
+
+	verify := func() error {
+		want := btSerial(st.forcing.Data(), sz)
+		return compareArrays("bt.u", st.u.Data(), want, 0)
+	}
+
+	return &Instance{
+		Program: program,
+		Verify:  verify,
+		Norm:    func() float64 { return l2norm(st.u.Data()) },
+		Size:    fmt.Sprintf("grid=%d^3x5 adi-steps=%d", n, sz.iters),
+	}
+}
+
+// btComputeRHS evaluates rhs = dt·(Σ6 u − 6u) + forcing on the interior.
+// As in NPB, the right-hand side is assembled by separate worksharing
+// loops — a base (forcing) term and one loop per direction — each with its
+// own implied barrier.
+func btComputeRHS(t *omp.Thread, st *btState) {
+	n := st.n
+	t.For(1, n-1, func(k int) {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				id := idx3(i, j, k, n)
+				for c := 0; c < 5; c++ {
+					v := t.LdF(st.forcing, uix(id, c)) - 6*btDt*t.LdF(st.u, uix(id, c))
+					t.StF(st.rhs, uix(id, c), v)
+					t.Compute(3)
+				}
+			}
+		}
+	})
+	for dir := 0; dir < 3; dir++ {
+		dir := dir
+		t.For(1, n-1, func(k int) {
+			for j := 1; j < n-1; j++ {
+				for i := 1; i < n-1; i++ {
+					id := idx3(i, j, k, n)
+					var lo, hi int
+					switch dir {
+					case 0:
+						lo, hi = idx3(i-1, j, k, n), idx3(i+1, j, k, n)
+					case 1:
+						lo, hi = idx3(i, j-1, k, n), idx3(i, j+1, k, n)
+					default:
+						lo, hi = idx3(i, j, k-1, n), idx3(i, j, k+1, n)
+					}
+					for c := 0; c < 5; c++ {
+						v := t.LdF(st.rhs, uix(id, c)) + btDt*(t.LdF(st.u, uix(lo, c))+t.LdF(st.u, uix(hi, c)))
+						t.StF(st.rhs, uix(id, c), v)
+						t.Compute(4)
+					}
+				}
+			}
+		})
+	}
+}
+
+// btScaleRHS is the post-solve normalization sweep (NPB's xinvr/ninvr/
+// pinvr family): a light pass over rhs between directional solves.
+func btScaleRHS(t *omp.Thread, st *btState, f float64) {
+	n := st.n
+	t.For(1, n-1, func(k int) {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				id := idx3(i, j, k, n)
+				for c := 0; c < 5; c++ {
+					t.StF(st.rhs, uix(id, c), f*t.LdF(st.rhs, uix(id, c)))
+					t.Compute(2)
+				}
+			}
+		}
+	})
+}
+
+// btSolveDir runs the block-tridiagonal line solves along direction dir
+// (0 = x lines, 1 = y lines, 2 = z lines), leaving the line solutions in
+// rhs. Lines are independent; as in the NPB 2.3 OpenMP port, worksharing
+// is over the single outermost dimension, so at class-S sizes the degree
+// of parallelism saturates well below 2 threads/CMP — the regime the
+// paper studies.
+func btSolveDir(t *omp.Thread, st *btState, dir int) {
+	n := st.n
+	m := n - 2
+	t.For(1, n-1, func(o1 int) {
+		for o2 := 1; o2 < n-1; o2++ {
+			btSolveLine(t, st, dir, o1, o2, m)
+		}
+	})
+}
+
+// btSolveLine assembles and solves one block-tridiagonal line.
+func btSolveLine(t *omp.Thread, st *btState, dir, o1, o2, m int) {
+	n := st.n
+	// Thread-private working arrays (NPB's lhs is private per line).
+	av := make([]mat5, m)
+	bv := make([]mat5, m)
+	cv := make([]mat5, m)
+	rv := make([]vec5, m)
+	for s := 0; s < m; s++ {
+		id := btLineCell(dir, s+1, o1, o2, n)
+		u0 := t.LdF(st.u, uix(id, 0))
+		av[s], bv[s], cv[s] = btBlocks(u0)
+		for c := 0; c < 5; c++ {
+			rv[s][c] = t.LdF(st.rhs, uix(id, c))
+		}
+		t.Compute(10) // block assembly
+	}
+	blockTriSolve(av, bv, cv, rv)
+	t.Compute(uint64(m) * 130) // 5×5 eliminations per cell (superscalar MACs)
+	for s := 0; s < m; s++ {
+		id := btLineCell(dir, s+1, o1, o2, n)
+		for c := 0; c < 5; c++ {
+			t.StF(st.rhs, uix(id, c), rv[s][c])
+		}
+	}
+}
+
+// btLineCell maps (direction, position-along-line, outer1, outer2) to a
+// cell index. x lines vary i with (j,k)=(o2,o1); y lines vary j with
+// (i,k)=(o2,o1); z lines vary k with (i,j)=(o2,o1).
+func btLineCell(dir, s, o1, o2, n int) int {
+	switch dir {
+	case 0:
+		return idx3(s, o2, o1, n)
+	case 1:
+		return idx3(o2, s, o1, n)
+	default:
+		return idx3(o2, o1, s, n)
+	}
+}
+
+// btAdd applies the computed update: u += rhs.
+func btAdd(t *omp.Thread, st *btState) {
+	n := st.n
+	t.For(1, n-1, func(k int) {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				id := idx3(i, j, k, n)
+				for c := 0; c < 5; c++ {
+					t.StF(st.u, uix(id, c), t.LdF(st.u, uix(id, c))+t.LdF(st.rhs, uix(id, c)))
+					t.Compute(2)
+				}
+			}
+		}
+	})
+}
+
+// btSerialRHS mirrors btComputeRHS's multi-loop assembly (the floating-
+// point accumulation order must match exactly for bit-level verification).
+func btSerialRHS(u, rhs, forcing []float64, n int) {
+	for k := 1; k < n-1; k++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				id := idx3(i, j, k, n)
+				for c := 0; c < 5; c++ {
+					rhs[uix(id, c)] = forcing[uix(id, c)] - 6*btDt*u[uix(id, c)]
+				}
+			}
+		}
+	}
+	for dir := 0; dir < 3; dir++ {
+		for k := 1; k < n-1; k++ {
+			for j := 1; j < n-1; j++ {
+				for i := 1; i < n-1; i++ {
+					id := idx3(i, j, k, n)
+					var lo, hi int
+					switch dir {
+					case 0:
+						lo, hi = idx3(i-1, j, k, n), idx3(i+1, j, k, n)
+					case 1:
+						lo, hi = idx3(i, j-1, k, n), idx3(i, j+1, k, n)
+					default:
+						lo, hi = idx3(i, j, k-1, n), idx3(i, j, k+1, n)
+					}
+					for c := 0; c < 5; c++ {
+						rhs[uix(id, c)] += btDt * (u[uix(lo, c)] + u[uix(hi, c)])
+					}
+				}
+			}
+		}
+	}
+}
+
+// btSerial is the sequential reference.
+func btSerial(forcing []float64, sz btSize) []float64 {
+	n := sz.n
+	u := make([]float64, 5*n*n*n)
+	rhs := make([]float64, 5*n*n*n)
+	m := n - 2
+	for it := 0; it < sz.iters; it++ {
+		btSerialRHS(u, rhs, forcing, n)
+		for dir := 0; dir < 3; dir++ {
+			for o1 := 1; o1 < n-1; o1++ {
+				for o2 := 1; o2 < n-1; o2++ {
+					av := make([]mat5, m)
+					bv := make([]mat5, m)
+					cv := make([]mat5, m)
+					rv := make([]vec5, m)
+					for s := 0; s < m; s++ {
+						id := btLineCell(dir, s+1, o1, o2, n)
+						av[s], bv[s], cv[s] = btBlocks(u[uix(id, 0)])
+						for c := 0; c < 5; c++ {
+							rv[s][c] = rhs[uix(id, c)]
+						}
+					}
+					blockTriSolve(av, bv, cv, rv)
+					for s := 0; s < m; s++ {
+						id := btLineCell(dir, s+1, o1, o2, n)
+						for c := 0; c < 5; c++ {
+							rhs[uix(id, c)] = rv[s][c]
+						}
+					}
+				}
+			}
+			for id := 0; id < n*n*n*5; id++ {
+				rhs[id] *= btScale
+			}
+		}
+		for k := 1; k < n-1; k++ {
+			for j := 1; j < n-1; j++ {
+				for i := 1; i < n-1; i++ {
+					id := idx3(i, j, k, n)
+					for c := 0; c < 5; c++ {
+						u[uix(id, c)] += rhs[uix(id, c)]
+					}
+				}
+			}
+		}
+	}
+	return u
+}

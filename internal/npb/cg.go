@@ -1,0 +1,275 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/omp"
+	"repro/internal/shmem"
+)
+
+// CG is the NPB conjugate-gradient kernel: repeated CG solves against an
+// unstructured sparse symmetric matrix, dominated by the sparse
+// matrix-vector product's irregular gathers and by dot-product reductions.
+//
+// Substitution vs NPB 2.3: the matrix comes from a deterministic
+// diagonally-dominant sparse generator rather than NPB's makea (same CSR
+// storage, same irregular column pattern driving remote traffic); sizes
+// are reduced (paper class would be na=1400).
+type cgSize struct {
+	na     int // rows
+	nzRow  int // off-diagonal nonzeros per row
+	cgIts  int // inner CG iterations
+	outers int // outer (power-method) iterations
+}
+
+func cgSizeFor(s Scale) cgSize {
+	switch s {
+	case ScaleTest:
+		return cgSize{na: 192, nzRow: 6, cgIts: 3, outers: 1}
+	case ScaleSmall:
+		return cgSize{na: 512, nzRow: 8, cgIts: 6, outers: 1}
+	default:
+		return cgSize{na: 1400, nzRow: 8, cgIts: 15, outers: 2}
+	}
+}
+
+// cgMatrix is a CSR sparse matrix in simulated shared memory.
+type cgMatrix struct {
+	n        int
+	rowStart *shmem.I64 // n+1
+	colIdx   *shmem.I64 // nnz
+	val      *shmem.F64 // nnz
+}
+
+// buildCGMatrix generates the deterministic sparse matrix: each row has a
+// dominant diagonal plus nzRow pseudo-random off-diagonals.
+func buildCGMatrix(rt *omp.Runtime, n, nzRow int) *cgMatrix {
+	g := newLCG(42)
+	type entry struct {
+		col int
+		v   float64
+	}
+	rows := make([][]entry, n)
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{i: true}
+		var offSum float64
+		for len(rows[i]) < nzRow {
+			c := g.intn(n)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			v := g.f64() - 0.5
+			offSum += absf(v)
+			rows[i] = append(rows[i], entry{c, v})
+		}
+		rows[i] = append(rows[i], entry{i, offSum + 1.5}) // diagonal dominance
+	}
+	nnz := 0
+	for _, r := range rows {
+		nnz += len(r)
+	}
+	m := &cgMatrix{
+		n:        n,
+		rowStart: rt.NewI64(n + 1),
+		colIdx:   rt.NewI64(nnz),
+		val:      rt.NewF64(nnz),
+	}
+	pos := 0
+	for i, r := range rows {
+		m.rowStart.Set(i, int64(pos))
+		for _, e := range r {
+			m.colIdx.Set(pos, int64(e.col))
+			m.val.Set(pos, e.v)
+			pos++
+		}
+	}
+	m.rowStart.Set(n, int64(pos))
+	return m
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// BuildCG constructs the CG benchmark instance on rt.
+func BuildCG(rt *omp.Runtime, s Scale) *Instance {
+	sz := cgSizeFor(s)
+	n := sz.na
+	m := buildCGMatrix(rt, n, sz.nzRow)
+	x := rt.NewF64(n)
+	z := rt.NewF64(n)
+	p := rt.NewF64(n)
+	q := rt.NewF64(n)
+	r := rt.NewF64(n)
+	zeta := rt.NewF64(1)
+	for i := 0; i < n; i++ {
+		x.Set(i, 1)
+	}
+
+	program := func(mt *omp.Thread) {
+		for outer := 0; outer < sz.outers; outer++ {
+			mt.Parallel(func(t *omp.Thread) {
+				cgSolve(t, m, x, z, p, q, r, sz.cgIts)
+			})
+			// Serial part: the master normalizes x = z/||z|| and records
+			// zeta, as NPB's outer loop does.
+			mt.Parallel(func(t *omp.Thread) {
+				partial := 0.0
+				t.ForNowait(0, n, func(i int) {
+					zi := t.LdF(z, i)
+					partial += zi * zi
+					t.Compute(2)
+				})
+				norm := t.ReduceSumF(partial)
+				inv := 1.0 / sqrt(norm)
+				t.For(0, n, func(i int) {
+					t.StF(x, i, t.LdF(z, i)*inv)
+					t.Compute(2)
+				})
+				t.Master(func() { t.StF(zeta, 0, norm) })
+				t.Barrier()
+			})
+		}
+	}
+
+	verify := func() error {
+		want := cgSerial(m, sz)
+		if err := compareArrays("cg.z", z.Data(), want, 1e-9); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	return &Instance{
+		Program: program,
+		Verify:  verify,
+		Norm:    func() float64 { return l2norm(z.Data()) },
+		Size:    fmt.Sprintf("na=%d nz/row=%d cgits=%d outer=%d", n, sz.nzRow+1, sz.cgIts, sz.outers),
+	}
+}
+
+// cgSolve is the parallel CG inner solve: z ≈ A⁻¹x.
+func cgSolve(t *omp.Thread, m *cgMatrix, x, z, p, q, r *shmem.F64, cgIts int) {
+	n := m.n
+	// Initialization: q=z=0, r=p=x.
+	t.For(0, n, func(i int) {
+		xi := t.LdF(x, i)
+		t.StF(q, i, 0)
+		t.StF(z, i, 0)
+		t.StF(r, i, xi)
+		t.StF(p, i, xi)
+		t.Compute(2)
+	})
+	partial := 0.0
+	t.ForNowait(0, n, func(i int) {
+		ri := t.LdF(r, i)
+		partial += ri * ri
+		t.Compute(2)
+	})
+	rho := t.ReduceSumF(partial)
+
+	for it := 0; it < cgIts; it++ {
+		// q = A p — the irregular gather that generates remote traffic.
+		t.For(0, n, func(i int) {
+			lo := int(t.LdI(m.rowStart, i))
+			hi := int(t.LdI(m.rowStart, i+1))
+			sum := 0.0
+			for k := lo; k < hi; k++ {
+				c := int(t.LdI(m.colIdx, k))
+				sum += t.LdF(m.val, k) * t.LdF(p, c)
+				t.Compute(2)
+			}
+			t.StF(q, i, sum)
+		})
+		// d = p·q
+		partial = 0.0
+		t.ForNowait(0, n, func(i int) {
+			partial += t.LdF(p, i) * t.LdF(q, i)
+			t.Compute(2)
+		})
+		d := t.ReduceSumF(partial)
+		alpha := rho / d
+		// z += alpha p, r -= alpha q; rho' = r·r.
+		partial = 0.0
+		t.ForNowait(0, n, func(i int) {
+			t.StF(z, i, t.LdF(z, i)+alpha*t.LdF(p, i))
+			ri := t.LdF(r, i) - alpha*t.LdF(q, i)
+			t.StF(r, i, ri)
+			partial += ri * ri
+			t.Compute(6)
+		})
+		rho0 := rho
+		rho = t.ReduceSumF(partial)
+		beta := rho / rho0
+		// p = r + beta p.
+		t.For(0, n, func(i int) {
+			t.StF(p, i, t.LdF(r, i)+beta*t.LdF(p, i))
+			t.Compute(3)
+		})
+	}
+}
+
+// cgSerial is the sequential reference: identical arithmetic, natural
+// iteration order (reduction order differs, hence the verify tolerance).
+func cgSerial(m *cgMatrix, sz cgSize) []float64 {
+	n := m.n
+	x := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	r := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	rs := m.rowStart.Data()
+	ci := m.colIdx.Data()
+	av := m.val.Data()
+	for outer := 0; outer < sz.outers; outer++ {
+		// CG solve.
+		rho := 0.0
+		for i := 0; i < n; i++ {
+			q[i], z[i] = 0, 0
+			r[i], p[i] = x[i], x[i]
+			rho += x[i] * x[i]
+		}
+		for it := 0; it < sz.cgIts; it++ {
+			d := 0.0
+			for i := 0; i < n; i++ {
+				sum := 0.0
+				for k := rs[i]; k < rs[i+1]; k++ {
+					sum += av[k] * p[ci[k]]
+				}
+				q[i] = sum
+				d += p[i] * q[i]
+			}
+			alpha := rho / d
+			rhoNew := 0.0
+			for i := 0; i < n; i++ {
+				z[i] += alpha * p[i]
+				r[i] -= alpha * q[i]
+				rhoNew += r[i] * r[i]
+			}
+			beta := rhoNew / rho
+			rho = rhoNew
+			for i := 0; i < n; i++ {
+				p[i] = r[i] + beta*p[i]
+			}
+		}
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			norm += z[i] * z[i]
+		}
+		inv := 1.0 / sqrt(norm)
+		for i := 0; i < n; i++ {
+			x[i] = z[i] * inv
+		}
+	}
+	return z
+}
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }

@@ -1,0 +1,149 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/omp"
+)
+
+// EP is the NPB embarrassingly-parallel kernel: generate pairs of uniform
+// pseudo-random numbers, keep those inside the unit circle, transform them
+// into Gaussian deviates (Box–Muller acceptance), and tally counts per
+// annulus. There is no communication except the final reductions.
+//
+// EP is not part of the paper's Table 2; it is included as an extension to
+// demonstrate the §3.2.2 claim that "for this class of application
+// [embarrassingly parallel], dynamic scheduling is apparently
+// advantageous, especially if the same amount of data requires a
+// significantly varying execution time": BuildEPImbalanced skews the work
+// per block so static scheduling suffers and dynamic recovers.
+//
+// Substitution vs NPB 2.3: the generator is this package's LCG rather than
+// NPB's 48-bit linear congruence, and batch counts are reduced.
+const epBins = 10
+
+type epSize struct {
+	blocks   int // work units
+	perBlock int // random pairs per block
+}
+
+func epSizeFor(s Scale) epSize {
+	switch s {
+	case ScaleTest:
+		return epSize{blocks: 64, perBlock: 128}
+	case ScaleSmall:
+		return epSize{blocks: 128, perBlock: 256}
+	default:
+		return epSize{blocks: 256, perBlock: 512}
+	}
+}
+
+// BuildEP constructs the uniform-work EP instance.
+func BuildEP(rt *omp.Runtime, s Scale) *Instance { return buildEP(rt, s, false) }
+
+// BuildEPImbalanced constructs a variant whose blocks vary 1×–8× in cost.
+func BuildEPImbalanced(rt *omp.Runtime, s Scale) *Instance { return buildEP(rt, s, true) }
+
+func buildEP(rt *omp.Runtime, s Scale, imbalanced bool) *Instance {
+	sz := epSizeFor(s)
+	counts := rt.NewF64(epBins)
+	sums := rt.NewF64(2)
+
+	reps := func(block int) int {
+		if !imbalanced {
+			return 1
+		}
+		// Cost ramps 1x..8x across the iteration space, so a static block
+		// partition concentrates the heavy tail on the last threads.
+		return 1 + 8*block/sz.blocks
+	}
+
+	program := func(mt *omp.Thread) {
+		mt.Parallel(func(t *omp.Thread) {
+			var local [epBins]float64
+			sx, sy := 0.0, 0.0
+			t.ForNowait(0, sz.blocks, func(b int) {
+				for r := 0; r < reps(b); r++ {
+					g := newLCG(uint64(b)*1000 + uint64(r))
+					for i := 0; i < sz.perBlock; i++ {
+						x := 2*g.f64() - 1
+						y := 2*g.f64() - 1
+						t.Compute(12) // generation + acceptance test
+						s2 := x*x + y*y
+						if s2 > 1 || s2 == 0 {
+							continue
+						}
+						f := math.Sqrt(-2 * math.Log(s2) / s2)
+						gx, gy := x*f, y*f
+						t.Compute(20) // transform
+						m := math.Max(math.Abs(gx), math.Abs(gy))
+						bin := int(m)
+						if bin >= epBins {
+							bin = epBins - 1
+						}
+						local[bin]++
+						sx += gx
+						sy += gy
+					}
+				}
+			})
+			// Tally: one atomic add per bin plus two sum reductions.
+			for bin := 0; bin < epBins; bin++ {
+				t.AtomicAddF(counts, bin, local[bin])
+			}
+			t.Barrier()
+			t.ReduceSumF(sx)
+			t.ReduceSumF(sy)
+			t.Master(func() {
+				if !t.IsA() {
+					t.StF(sums, 0, sx) // master's own partials, as a probe
+				}
+			})
+			t.Barrier()
+		})
+	}
+
+	verify := func() error {
+		want := epSerial(sz, reps)
+		return compareArrays("ep.counts", counts.Data(), want, 1e-9)
+	}
+
+	kind := "uniform"
+	if imbalanced {
+		kind = "imbalanced-8x"
+	}
+	return &Instance{
+		Program: program,
+		Verify:  verify,
+		Norm:    func() float64 { return l2norm(counts.Data()) },
+		Size:    fmt.Sprintf("blocks=%d pairs/block=%d %s", sz.blocks, sz.perBlock, kind),
+	}
+}
+
+// epSerial replays the tally sequentially.
+func epSerial(sz epSize, reps func(int) int) []float64 {
+	counts := make([]float64, epBins)
+	for b := 0; b < sz.blocks; b++ {
+		for r := 0; r < reps(b); r++ {
+			g := newLCG(uint64(b)*1000 + uint64(r))
+			for i := 0; i < sz.perBlock; i++ {
+				x := 2*g.f64() - 1
+				y := 2*g.f64() - 1
+				s2 := x*x + y*y
+				if s2 > 1 || s2 == 0 {
+					continue
+				}
+				f := math.Sqrt(-2 * math.Log(s2) / s2)
+				gx, gy := x*f, y*f
+				m := math.Max(math.Abs(gx), math.Abs(gy))
+				bin := int(m)
+				if bin >= epBins {
+					bin = epBins - 1
+				}
+				counts[bin]++
+			}
+		}
+	}
+	return counts
+}

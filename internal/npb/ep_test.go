@@ -1,0 +1,134 @@
+package npb
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/omp"
+)
+
+func runEP(t *testing.T, cfg omp.Config, imbalanced bool) uint64 {
+	t.Helper()
+	rt, err := omp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := BuildEP
+	if imbalanced {
+		build = BuildEPImbalanced
+	}
+	inst := build(rt, ScaleTest)
+	if err := rt.Run(inst.Program); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return rt.M.WallTime()
+}
+
+func TestEPVerifiesAcrossModes(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSingle, core.ModeDouble, core.ModeSlipstream} {
+		runEP(t, runCfg(mode), false)
+		runEP(t, runCfg(mode), true)
+	}
+}
+
+func TestEPVerifiesUnderDynamic(t *testing.T) {
+	for _, sched := range []omp.Schedule{omp.Dynamic, omp.Guided} {
+		cfg := runCfg(core.ModeSlipstream)
+		cfg.Sched = sched
+		cfg.Chunk = 2
+		runEP(t, cfg, true)
+	}
+}
+
+// TestEPDynamicBeatsStaticWhenImbalanced demonstrates the §3.2.2 claim:
+// for embarrassingly parallel work with significantly varying per-unit
+// cost, dynamic scheduling wins; for uniform work, static wins.
+func TestEPDynamicBeatsStaticWhenImbalanced(t *testing.T) {
+	mk := func(sched omp.Schedule, imbalanced bool) uint64 {
+		cfg := runCfg(core.ModeSingle)
+		cfg.Sched = sched
+		cfg.Chunk = 2
+		return runEP(t, cfg, imbalanced)
+	}
+	statImb := mk(omp.Static, true)
+	dynImb := mk(omp.Dynamic, true)
+	if dynImb >= statImb {
+		t.Fatalf("imbalanced EP: dynamic (%d) not faster than static (%d)", dynImb, statImb)
+	}
+	statUni := mk(omp.Static, false)
+	dynUni := mk(omp.Dynamic, false)
+	if dynUni <= statUni {
+		t.Fatalf("uniform EP: dynamic (%d) not slower than static (%d)", dynUni, statUni)
+	}
+}
+
+func TestEPSizeString(t *testing.T) {
+	rt, _ := omp.New(runCfg(core.ModeSingle))
+	if got := BuildEPImbalanced(rt, ScaleTest).Size; got == "" {
+		t.Fatal("empty size")
+	}
+}
+
+// Extension kernels (EP, FT, IS) verify across modes and schedules.
+func TestExtensionsVerify(t *testing.T) {
+	for _, k := range Extensions() {
+		for _, mode := range []core.Mode{core.ModeSingle, core.ModeDouble, core.ModeSlipstream} {
+			k, mode := k, mode
+			t.Run(k.Name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				rt, err := omp.New(runCfg(mode))
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst := k.Build(rt, ScaleTest)
+				if err := rt.Run(inst.Program); err != nil {
+					t.Fatal(err)
+				}
+				if err := inst.Verify(); err != nil {
+					t.Fatal(err)
+				}
+				if inst.Norm == nil || inst.Norm() == 0 {
+					t.Fatal("missing or zero norm")
+				}
+			})
+		}
+	}
+}
+
+func TestExtensionsVerifyDynamic(t *testing.T) {
+	for _, k := range Extensions() {
+		if !k.Dynamic {
+			continue
+		}
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := runCfg(core.ModeSlipstream)
+			cfg.Sched = omp.Dynamic
+			cfg.Chunk = 2
+			cfg.Slipstream = core.G0
+			rt, err := omp.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst := k.Build(rt, ScaleTest)
+			if err := rt.Run(inst.Program); err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestByNameIncludesExtensions(t *testing.T) {
+	for _, name := range []string{"EP", "FT", "IS", "LUHP"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/omp"
+	"repro/internal/shmem"
+)
+
+// FT is the NPB 3-D FFT kernel (an extension: not part of the paper's
+// Table 2, included to complete the NPB 2.3 kernel set). Each time step
+// evolves a complex field by per-mode phase factors and applies 1-D FFTs
+// along all three dimensions; the z-dimension pass is the strided,
+// all-to-all-shaped access pattern FT is famous for. A per-step checksum
+// over scattered modes adds the reduction.
+//
+// Substitution vs NPB 2.3: the evolution factor is a synthetic per-mode
+// rotation rather than the heat-equation exponential, the initial field
+// comes from this package's LCG, and sizes are reduced. FFTs are real
+// radix-2 Cooley–Tukey transforms into thread-private work arrays (NPB's
+// cffts* use private work arrays the same way), verified bit-exactly
+// against a serial replay.
+type ftSize struct {
+	n     int // grid edge (power of two)
+	iters int
+}
+
+func ftSizeFor(s Scale) ftSize {
+	switch s {
+	case ScaleTest:
+		return ftSize{n: 8, iters: 1}
+	case ScaleSmall:
+		return ftSize{n: 16, iters: 1}
+	default:
+		return ftSize{n: 16, iters: 3}
+	}
+}
+
+// ftState bundles the shared field (separate re/im planes).
+type ftState struct {
+	n      int
+	re, im *shmem.F64
+}
+
+// BuildFT constructs the FT extension instance.
+func BuildFT(rt *omp.Runtime, s Scale) *Instance {
+	sz := ftSizeFor(s)
+	n := sz.n
+	st := &ftState{n: n, re: rt.NewF64(n * n * n), im: rt.NewF64(n * n * n)}
+	g := newLCG(53)
+	for i := 0; i < n*n*n; i++ {
+		st.re.Set(i, g.f64()-0.5)
+		st.im.Set(i, g.f64()-0.5)
+	}
+	initRe := append([]float64(nil), st.re.Data()...)
+	initIm := append([]float64(nil), st.im.Data()...)
+
+	program := func(mt *omp.Thread) {
+		for it := 0; it < sz.iters; it++ {
+			mt.Parallel(func(t *omp.Thread) {
+				ftEvolve(t, st, it)
+				ftPass(t, st, 0)
+				ftPass(t, st, 1)
+				ftPass(t, st, 2)
+				// Checksum over scattered modes (reduction).
+				partial := 0.0
+				t.ForNowait(0, 64, func(m int) {
+					id := (m * 1031) % (n * n * n)
+					partial += t.LdF(st.re, id) + t.LdF(st.im, id)
+					t.Compute(3)
+				})
+				t.ReduceSumF(partial)
+			})
+		}
+	}
+
+	verify := func() error {
+		wr, wi := ftSerial(initRe, initIm, sz)
+		if err := compareArrays("ft.re", st.re.Data(), wr, 0); err != nil {
+			return err
+		}
+		return compareArrays("ft.im", st.im.Data(), wi, 0)
+	}
+
+	return &Instance{
+		Program: program,
+		Verify:  verify,
+		Norm:    func() float64 { return l2norm(st.re.Data()) },
+		Size:    fmt.Sprintf("grid=%d^3 complex, steps=%d", n, sz.iters),
+	}
+}
+
+// ftEvolve multiplies every mode by a deterministic unit rotation.
+func ftEvolve(t *omp.Thread, st *ftState, step int) {
+	n := st.n
+	t.For(0, n, func(k int) {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				id := idx3(i, j, k, n)
+				c, s := ftFactor(i, j, k, step)
+				re := t.LdF(st.re, id)
+				im := t.LdF(st.im, id)
+				t.StF(st.re, id, re*c-im*s)
+				t.StF(st.im, id, re*s+im*c)
+				t.Compute(8)
+			}
+		}
+	})
+}
+
+// ftFactor returns the unit rotation for a mode (private computation).
+func ftFactor(i, j, k, step int) (c, s float64) {
+	theta := 1e-3 * float64((i*i+j*j+k*k)*(step+1))
+	return math.Cos(theta), math.Sin(theta)
+}
+
+// ftPass applies length-n FFTs along one dimension to every line of the
+// grid. Worksharing is over the outermost orthogonal dimension; each line
+// is gathered into thread-private buffers (timed loads), transformed
+// privately, and scattered back (timed stores).
+func ftPass(t *omp.Thread, st *ftState, dir int) {
+	n := st.n
+	re := make([]float64, n)
+	im := make([]float64, n)
+	t.For(0, n, func(o1 int) {
+		for o2 := 0; o2 < n; o2++ {
+			for s := 0; s < n; s++ {
+				id := ftLineCell(dir, s, o1, o2, n)
+				re[s] = t.LdF(st.re, id)
+				im[s] = t.LdF(st.im, id)
+			}
+			fft(re, im)
+			t.Compute(uint64(5 * n * log2(n)))
+			for s := 0; s < n; s++ {
+				id := ftLineCell(dir, s, o1, o2, n)
+				t.StF(st.re, id, re[s])
+				t.StF(st.im, id, im[s])
+			}
+		}
+	})
+}
+
+// ftLineCell maps (direction, position, outer1, outer2) to a cell index:
+// x lines vary i, y lines vary j, z lines vary k (the strided pass).
+func ftLineCell(dir, s, o1, o2, n int) int {
+	switch dir {
+	case 0:
+		return idx3(s, o2, o1, n)
+	case 1:
+		return idx3(o2, s, o1, n)
+	default:
+		return idx3(o2, o1, s, n)
+	}
+}
+
+// log2 returns log₂(n) for a power of two.
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// fft is an in-place iterative radix-2 Cooley–Tukey transform.
+func fft(re, im []float64) {
+	n := len(re)
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j &^= bit
+		}
+		j |= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			cr, ci := 1.0, 0.0
+			for k := 0; k < length/2; k++ {
+				a, b := start+k, start+k+length/2
+				xr := re[b]*cr - im[b]*ci
+				xi := re[b]*ci + im[b]*cr
+				re[b], im[b] = re[a]-xr, im[a]-xi
+				re[a], im[a] = re[a]+xr, im[a]+xi
+				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+			}
+		}
+	}
+}
+
+// ftSerial replays the program sequentially.
+func ftSerial(re0, im0 []float64, sz ftSize) (re, im []float64) {
+	n := sz.n
+	re = append([]float64(nil), re0...)
+	im = append([]float64(nil), im0...)
+	lr := make([]float64, n)
+	li := make([]float64, n)
+	for it := 0; it < sz.iters; it++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					id := idx3(i, j, k, n)
+					c, s := ftFactor(i, j, k, it)
+					r, m := re[id], im[id]
+					re[id] = r*c - m*s
+					im[id] = r*s + m*c
+				}
+			}
+		}
+		for dir := 0; dir < 3; dir++ {
+			for o1 := 0; o1 < n; o1++ {
+				for o2 := 0; o2 < n; o2++ {
+					for s := 0; s < n; s++ {
+						id := ftLineCell(dir, s, o1, o2, n)
+						lr[s], li[s] = re[id], im[id]
+					}
+					fft(lr, li)
+					for s := 0; s < n; s++ {
+						id := ftLineCell(dir, s, o1, o2, n)
+						re[id], im[id] = lr[s], li[s]
+					}
+				}
+			}
+		}
+	}
+	return re, im
+}

@@ -1,0 +1,32 @@
+package npb
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPentaSolve: for arbitrary finite right-hand sides the solver must
+// return finite solutions that satisfy the system.
+func FuzzPentaSolve(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0, 5.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(-1e6, 1e-6, 3.5, -2.25, 100.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e float64) {
+		x := []float64{a, b, c, d, e}
+		for i, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				x[i] = 1
+			}
+		}
+		rhs := multiplyPenta(spE2, spE1, spD, spE1, spE2, x)
+		pentaSolve(spE2, spE1, spD, spE1, spE2, rhs)
+		for i := range x {
+			if math.IsNaN(rhs[i]) || math.IsInf(rhs[i], 0) {
+				t.Fatalf("non-finite solution at %d", i)
+			}
+			if math.Abs(rhs[i]-x[i]) > 1e-6*(1+math.Abs(x[i])) {
+				t.Fatalf("x[%d] = %v, want %v", i, rhs[i], x[i])
+			}
+		}
+	})
+}

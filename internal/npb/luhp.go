@@ -1,0 +1,135 @@
+package npb
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+	"repro/internal/shmem"
+)
+
+// LUHP is the hyperplane ("hp") variant of the LU solver (an extension).
+// Where the red-black port (BuildLU) reorders the Gauss–Seidel updates for
+// parallelism, the hyperplane variant keeps the true lower/upper triangular
+// dependence order of NPB's SSOR: points on the wavefront i+j+k = d depend
+// only on points of earlier hyperplanes, so each hyperplane is a parallel
+// loop followed by a barrier. The result is many small worksharing
+// constructs per sweep — the barrier-dominated regime that stresses
+// slipstream's token synchronization hardest.
+type luhpSize struct {
+	n     int
+	iters int
+}
+
+func luhpSizeFor(s Scale) luhpSize {
+	switch s {
+	case ScaleTest:
+		return luhpSize{n: 8, iters: 1}
+	case ScaleSmall:
+		return luhpSize{n: 10, iters: 2}
+	default:
+		return luhpSize{n: 12, iters: 4}
+	}
+}
+
+// BuildLUHP constructs the hyperplane-LU extension instance.
+func BuildLUHP(rt *omp.Runtime, s Scale) *Instance {
+	sz := luhpSizeFor(s)
+	n := sz.n
+	u := rt.NewF64(n * n * n)
+	f := rt.NewF64(n * n * n)
+	g := newLCG(71)
+	for k := 1; k < n-1; k++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				f.Set(idx3(i, j, k, n), g.f64()-0.5)
+			}
+		}
+	}
+
+	program := func(mt *omp.Thread) {
+		for it := 0; it < sz.iters; it++ {
+			mt.Parallel(func(t *omp.Thread) {
+				// Lower sweep: hyperplanes in increasing i+j+k order.
+				for d := 3; d <= 3*(n-2); d++ {
+					luhpPlane(t, u, f, n, d, false)
+				}
+				// Upper sweep: decreasing order.
+				for d := 3 * (n - 2); d >= 3; d-- {
+					luhpPlane(t, u, f, n, d, true)
+				}
+			})
+		}
+	}
+
+	verify := func() error {
+		want := luhpSerial(f.Data(), sz)
+		return compareArrays("luhp.u", u.Data(), want, 0)
+	}
+
+	return &Instance{
+		Program: program,
+		Verify:  verify,
+		Norm:    func() float64 { return l2norm(u.Data()) },
+		Size:    fmt.Sprintf("grid=%d^3 wavefront ssor-iters=%d", n, sz.iters),
+	}
+}
+
+// luhpPlane updates every interior point with i+j+k == d (a parallel loop
+// over the hyperplane, ending in the construct's barrier). The update uses
+// only neighbours on adjacent hyperplanes, already final for this sweep.
+func luhpPlane(t *omp.Thread, u, f *shmem.F64, n, d int, upper bool) {
+	pts := hyperplane(n, d)
+	t.For(0, len(pts), func(p int) {
+		i, j, k := pts[p][0], pts[p][1], pts[p][2]
+		id := idx3(i, j, k, n)
+		gs := (t.LdF(f, id) + mgSum6(t, u, i, j, k, n)) / luDiag
+		w := luOmega
+		if upper {
+			w = luOmega / 2 // lighter relaxation on the upper sweep
+		}
+		t.StF(u, id, (1-w)*t.LdF(u, id)+w*gs)
+		t.Compute(11)
+	})
+}
+
+// hyperplane enumerates interior points with i+j+k == d in a fixed order.
+func hyperplane(n, d int) [][3]int {
+	var pts [][3]int
+	for k := 1; k < n-1; k++ {
+		for j := 1; j < n-1; j++ {
+			i := d - j - k
+			if i >= 1 && i < n-1 {
+				pts = append(pts, [3]int{i, j, k})
+			}
+		}
+	}
+	return pts
+}
+
+// luhpSerial replays the wavefront sweeps sequentially in the same
+// hyperplane order (the parallel version is order-independent within a
+// plane, so results match bit-exactly).
+func luhpSerial(f []float64, sz luhpSize) []float64 {
+	n := sz.n
+	u := make([]float64, n*n*n)
+	for it := 0; it < sz.iters; it++ {
+		for d := 3; d <= 3*(n-2); d++ {
+			for _, pt := range hyperplane(n, d) {
+				i, j, k := pt[0], pt[1], pt[2]
+				id := idx3(i, j, k, n)
+				gs := (f[id] + sSum6f(u, i, j, k, n)) / luDiag
+				u[id] = (1-luOmega)*u[id] + luOmega*gs
+			}
+		}
+		for d := 3 * (n - 2); d >= 3; d-- {
+			for _, pt := range hyperplane(n, d) {
+				i, j, k := pt[0], pt[1], pt[2]
+				id := idx3(i, j, k, n)
+				gs := (f[id] + sSum6f(u, i, j, k, n)) / luDiag
+				w := luOmega / 2
+				u[id] = (1-w)*u[id] + w*gs
+			}
+		}
+	}
+	return u
+}

@@ -1,0 +1,387 @@
+package npb
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+	"repro/internal/shmem"
+)
+
+// MG is the NPB multigrid kernel: V-cycles of a 3-D 7-point Poisson-like
+// operator with restriction and prolongation across a grid hierarchy.
+// Sweeps are parallelized over the outermost (k) dimension, giving the
+// plane-partitioned neighbour communication the original has.
+//
+// Substitution vs NPB 2.3: zero boundaries instead of periodic ones and a
+// simplified (but stable, diagonally dominated) smoother; the V-cycle
+// structure, operator stencils, and barrier cadence per operator are kept.
+const (
+	mgC0 = 6.0  // stencil diagonal
+	mgD0 = 0.14 // smoother: weight of the local residual
+	mgD1 = 0.02 // smoother: weight of the residual's 6 neighbours
+)
+
+type mgSize struct {
+	n     int // finest grid edge (power of two)
+	iters int // V-cycles
+}
+
+func mgSizeFor(s Scale) mgSize {
+	switch s {
+	case ScaleTest:
+		return mgSize{n: 8, iters: 1}
+	case ScaleSmall:
+		return mgSize{n: 16, iters: 2}
+	default:
+		return mgSize{n: 32, iters: 4} // class S edge length
+	}
+}
+
+// mgLevel is one grid of the hierarchy.
+type mgLevel struct {
+	n    int
+	u, r *shmem.F64
+}
+
+// BuildMG constructs the MG benchmark instance on rt.
+func BuildMG(rt *omp.Runtime, s Scale) *Instance {
+	sz := mgSizeFor(s)
+	var levels []*mgLevel
+	for n := sz.n; n >= 4; n /= 2 {
+		levels = append(levels, &mgLevel{n: n, u: rt.NewF64(n * n * n), r: rt.NewF64(n * n * n)})
+	}
+	v := rt.NewF64(sz.n * sz.n * sz.n)
+	// Source term: a few unit charges at deterministic interior points
+	// (NPB places +1/-1 charges at random points).
+	g := newLCG(7)
+	for c := 0; c < 10; c++ {
+		i := 1 + g.intn(sz.n-2)
+		j := 1 + g.intn(sz.n-2)
+		k := 1 + g.intn(sz.n-2)
+		sign := 1.0
+		if c%2 == 1 {
+			sign = -1
+		}
+		v.Set(idx3(i, j, k, sz.n), sign)
+	}
+
+	program := func(mt *omp.Thread) {
+		// r = v - A u with u = 0, i.e. r = v.
+		mt.Parallel(func(t *omp.Thread) {
+			mgResid(t, levels[0], v)
+		})
+		for it := 0; it < sz.iters; it++ {
+			mt.Parallel(func(t *omp.Thread) {
+				mgVCycle(t, levels, v)
+			})
+		}
+		mt.Parallel(func(t *omp.Thread) {
+			mgResid(t, levels[0], v)
+			// rnorm, as NPB reports.
+			n := levels[0].n
+			partial := 0.0
+			t.ForNowait(0, n, func(k int) {
+				if k == 0 || k == n-1 {
+					return
+				}
+				for j := 1; j < n-1; j++ {
+					for i := 1; i < n-1; i++ {
+						ri := t.LdF(levels[0].r, idx3(i, j, k, n))
+						partial += ri * ri
+						t.Compute(2)
+					}
+				}
+			})
+			t.ReduceSumF(partial)
+		})
+	}
+
+	verify := func() error {
+		wantU, wantR := mgSerial(levels, v.Data(), sz)
+		if err := compareArrays("mg.u", levels[0].u.Data(), wantU, 0); err != nil {
+			return err
+		}
+		return compareArrays("mg.r", levels[0].r.Data(), wantR, 0)
+	}
+
+	return &Instance{
+		Program: program,
+		Verify:  verify,
+		Norm:    func() float64 { return l2norm(levels[0].u.Data()) },
+		Size:    fmt.Sprintf("grid=%d^3 levels=%d vcycles=%d", sz.n, len(levels), sz.iters),
+	}
+}
+
+// mgVCycle runs one V-cycle over the hierarchy.
+func mgVCycle(t *omp.Thread, levels []*mgLevel, v *shmem.F64) {
+	last := len(levels) - 1
+	// Down: restrict residuals.
+	for l := 0; l < last; l++ {
+		mgRprj3(t, levels[l], levels[l+1])
+	}
+	// Coarsest: u = 0, one smoothing pass.
+	mgZero(t, levels[last])
+	mgPsinv(t, levels[last])
+	// Up: prolongate, correct residual, smooth.
+	for l := last - 1; l >= 1; l-- {
+		mgInterpSet(t, levels[l+1], levels[l])
+		mgResidInPlace(t, levels[l])
+		mgPsinv(t, levels[l])
+	}
+	mgInterpAdd(t, levels[1], levels[0])
+	mgResid(t, levels[0], v)
+	mgPsinv(t, levels[0])
+}
+
+// mgResid computes r = v - A u on the finest level.
+func mgResid(t *omp.Thread, lv *mgLevel, v *shmem.F64) {
+	n := lv.n
+	t.For(1, n-1, func(k int) {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				id := idx3(i, j, k, n)
+				au := mgC0*t.LdF(lv.u, id) - mgSum6(t, lv.u, i, j, k, n)
+				t.StF(lv.r, id, t.LdF(v, id)-au)
+				t.Compute(9)
+			}
+		}
+	})
+}
+
+// mgResidInPlace computes r = r - A u (intermediate levels: the restricted
+// residual is the right-hand side).
+func mgResidInPlace(t *omp.Thread, lv *mgLevel) {
+	n := lv.n
+	t.For(1, n-1, func(k int) {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				id := idx3(i, j, k, n)
+				au := mgC0*t.LdF(lv.u, id) - mgSum6(t, lv.u, i, j, k, n)
+				t.StF(lv.r, id, t.LdF(lv.r, id)-au)
+				t.Compute(9)
+			}
+		}
+	})
+}
+
+// mgPsinv applies the smoother u += d0*r + d1*Σ6 r.
+func mgPsinv(t *omp.Thread, lv *mgLevel) {
+	n := lv.n
+	t.For(1, n-1, func(k int) {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				id := idx3(i, j, k, n)
+				corr := mgD0*t.LdF(lv.r, id) + mgD1*mgSum6(t, lv.r, i, j, k, n)
+				t.StF(lv.u, id, t.LdF(lv.u, id)+corr)
+				t.Compute(10)
+			}
+		}
+	})
+}
+
+// mgRprj3 restricts the fine residual to the coarse grid.
+func mgRprj3(t *omp.Thread, fine, coarse *mgLevel) {
+	nc := coarse.n
+	nf := fine.n
+	t.For(1, nc-1, func(kc int) {
+		kf := 2 * kc
+		for jc := 1; jc < nc-1; jc++ {
+			jf := 2 * jc
+			for ic := 1; ic < nc-1; ic++ {
+				fi := 2 * ic
+				c := 0.5*t.LdF(fine.r, idx3(fi, jf, kf, nf)) +
+					mgSum6(t, fine.r, fi, jf, kf, nf)/12.0
+				t.StF(coarse.r, idx3(ic, jc, kc, nc), c)
+				t.Compute(10)
+			}
+		}
+	})
+}
+
+// mgInterpSet sets the fine grid's u from the coarse correction (u_f = P u_c).
+func mgInterpSet(t *omp.Thread, coarse, fine *mgLevel) {
+	mgInterp(t, coarse, fine, false)
+}
+
+// mgInterpAdd adds the prolongated correction on the finest level.
+func mgInterpAdd(t *omp.Thread, coarse, fine *mgLevel) {
+	mgInterp(t, coarse, fine, true)
+}
+
+func mgInterp(t *omp.Thread, coarse, fine *mgLevel, add bool) {
+	nf := fine.n
+	nc := coarse.n
+	t.For(1, nf-1, func(k int) {
+		for j := 1; j < nf-1; j++ {
+			for i := 1; i < nf-1; i++ {
+				val := mgTrilinear(t, coarse.u, i, j, k, nc)
+				id := idx3(i, j, k, nf)
+				if add {
+					val += t.LdF(fine.u, id)
+				}
+				t.StF(fine.u, id, val)
+				t.Compute(12)
+			}
+		}
+	})
+}
+
+// mgTrilinear evaluates the coarse field at a fine point by averaging the
+// 1, 2, 4, or 8 enclosing coarse points (zero outside the interior).
+func mgTrilinear(t *omp.Thread, u *shmem.F64, i, j, k, nc int) float64 {
+	sum := 0.0
+	cnt := 0
+	for _, ci := range corner(i) {
+		for _, cj := range corner(j) {
+			for _, ck := range corner(k) {
+				sum += t.LdF(u, idx3(ci, cj, ck, nc))
+				cnt++
+			}
+		}
+	}
+	return sum / float64(cnt)
+}
+
+// corner returns the coarse indices bracketing fine index f.
+func corner(f int) []int {
+	if f%2 == 0 {
+		return []int{f / 2}
+	}
+	return []int{f / 2, f/2 + 1}
+}
+
+// mgSum6 loads and sums a point's six neighbours.
+func mgSum6(t *omp.Thread, a *shmem.F64, i, j, k, n int) float64 {
+	return t.LdF(a, idx3(i-1, j, k, n)) + t.LdF(a, idx3(i+1, j, k, n)) +
+		t.LdF(a, idx3(i, j-1, k, n)) + t.LdF(a, idx3(i, j+1, k, n)) +
+		t.LdF(a, idx3(i, j, k-1, n)) + t.LdF(a, idx3(i, j, k+1, n))
+}
+
+// mgZero clears a level's u.
+func mgZero(t *omp.Thread, lv *mgLevel) {
+	n := lv.n
+	t.For(0, n, func(k int) {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				t.StF(lv.u, idx3(i, j, k, n), 0)
+			}
+		}
+	})
+}
+
+// ---- Serial reference -------------------------------------------------------
+
+type mgSerialLevel struct {
+	n    int
+	u, r []float64
+}
+
+// mgSerial replays the program sequentially with identical arithmetic.
+func mgSerial(levels []*mgLevel, v []float64, sz mgSize) (u0, r0 []float64) {
+	ls := make([]*mgSerialLevel, len(levels))
+	for i, lv := range levels {
+		ls[i] = &mgSerialLevel{n: lv.n, u: make([]float64, lv.n*lv.n*lv.n), r: make([]float64, lv.n*lv.n*lv.n)}
+	}
+	sResid(ls[0], v)
+	for it := 0; it < sz.iters; it++ {
+		last := len(ls) - 1
+		for l := 0; l < last; l++ {
+			sRprj3(ls[l], ls[l+1])
+		}
+		for i := range ls[last].u {
+			ls[last].u[i] = 0
+		}
+		sPsinv(ls[last])
+		for l := last - 1; l >= 1; l-- {
+			sInterp(ls[l+1], ls[l], false)
+			sResidRHS(ls[l])
+			sPsinv(ls[l])
+		}
+		sInterp(ls[1], ls[0], true)
+		sResid(ls[0], v)
+		sPsinv(ls[0])
+	}
+	sResid(ls[0], v)
+	return ls[0].u, ls[0].r
+}
+
+func sSum6(a []float64, i, j, k, n int) float64 {
+	return a[idx3(i-1, j, k, n)] + a[idx3(i+1, j, k, n)] +
+		a[idx3(i, j-1, k, n)] + a[idx3(i, j+1, k, n)] +
+		a[idx3(i, j, k-1, n)] + a[idx3(i, j, k+1, n)]
+}
+
+func sResid(lv *mgSerialLevel, v []float64) {
+	n := lv.n
+	for k := 1; k < n-1; k++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				id := idx3(i, j, k, n)
+				lv.r[id] = v[id] - (mgC0*lv.u[id] - sSum6(lv.u, i, j, k, n))
+			}
+		}
+	}
+}
+
+func sResidRHS(lv *mgSerialLevel) {
+	n := lv.n
+	for k := 1; k < n-1; k++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				id := idx3(i, j, k, n)
+				lv.r[id] -= mgC0*lv.u[id] - sSum6(lv.u, i, j, k, n)
+			}
+		}
+	}
+}
+
+func sPsinv(lv *mgSerialLevel) {
+	n := lv.n
+	for k := 1; k < n-1; k++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				id := idx3(i, j, k, n)
+				lv.u[id] += mgD0*lv.r[id] + mgD1*sSum6(lv.r, i, j, k, n)
+			}
+		}
+	}
+}
+
+func sRprj3(fine, coarse *mgSerialLevel) {
+	nc, nf := coarse.n, fine.n
+	for kc := 1; kc < nc-1; kc++ {
+		for jc := 1; jc < nc-1; jc++ {
+			for ic := 1; ic < nc-1; ic++ {
+				fi, jf, kf := 2*ic, 2*jc, 2*kc
+				coarse.r[idx3(ic, jc, kc, nc)] = 0.5*fine.r[idx3(fi, jf, kf, nf)] +
+					sSum6(fine.r, fi, jf, kf, nf)/12.0
+			}
+		}
+	}
+}
+
+func sInterp(coarse, fine *mgSerialLevel, add bool) {
+	nf, nc := fine.n, coarse.n
+	for k := 1; k < nf-1; k++ {
+		for j := 1; j < nf-1; j++ {
+			for i := 1; i < nf-1; i++ {
+				sum := 0.0
+				cnt := 0
+				for _, ci := range corner(i) {
+					for _, cj := range corner(j) {
+						for _, ck := range corner(k) {
+							sum += coarse.u[idx3(ci, cj, ck, nc)]
+							cnt++
+						}
+					}
+				}
+				val := sum / float64(cnt)
+				id := idx3(i, j, k, nf)
+				if add {
+					val += fine.u[id]
+				}
+				fine.u[id] = val
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package npb contains scaled-down, structurally faithful Go ports of the
+// five NAS Parallel Benchmark kernels the paper evaluates (Table 2: BT, CG,
+// LU, MG, SP — the Omni project's OpenMP port of NPB 2.3), written against
+// the omp runtime so they run unmodified in single, double, and slipstream
+// modes.
+//
+// Substitutions relative to NPB 2.3 are documented per kernel and in
+// DESIGN.md. The ports keep the memory-reference and synchronization
+// structure of the originals (sweeps, line solves, reductions, barrier
+// cadence), use reduced problem sizes ("the problem sizes serve the purpose
+// of studying the performance when the communication starts to dominate",
+// §5), and every kernel verifies its final state against a plain serial Go
+// reference.
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/omp"
+)
+
+// Scale selects a problem size.
+type Scale int
+
+// Problem scales: Test is for unit tests (seconds of simulated work),
+// Small for benchmarks, Paper for the experiment harness (the reduced
+// classes used to regenerate the figures).
+const (
+	ScaleTest Scale = iota
+	ScaleSmall
+	ScalePaper
+)
+
+// String returns the scale name.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleSmall:
+		return "small"
+	case ScalePaper:
+		return "paper"
+	}
+	return fmt.Sprintf("scale(%d)", int(s))
+}
+
+// Instance is a constructed benchmark ready to run on a runtime: the
+// program to execute and a verifier that checks the shared state against
+// the kernel's serial reference.
+type Instance struct {
+	Program func(*omp.Thread)
+	Verify  func() error
+	// Norm returns the L2 norm of the kernel's principal result array —
+	// the NPB-style verification value reported alongside timings. May be
+	// nil for instances without a natural norm.
+	Norm func() float64
+	// Size describes the problem instance for Table 2.
+	Size string
+}
+
+// l2norm computes the Euclidean norm of a slice.
+func l2norm(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Kernel is one benchmark in the suite.
+type Kernel struct {
+	Name string
+	// Dynamic reports whether the kernel participates in the dynamic-
+	// scheduling experiments (LU hard-codes static scheduling for a
+	// significant portion of its code, §5.2, and is excluded).
+	Dynamic bool
+	Build   func(rt *omp.Runtime, s Scale) *Instance
+	// DynChunk returns the dynamic/guided chunk size for a team size. The
+	// paper used the compiler defaults for all applications except CG,
+	// whose chunk is half the static block assignment (§5.2).
+	DynChunk func(s Scale, team int) int
+}
+
+// Kernels returns the paper's benchmark suite in its reporting order.
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "BT", Dynamic: true, Build: BuildBT},
+		{Name: "CG", Dynamic: true, Build: BuildCG,
+			DynChunk: func(s Scale, team int) int { return cgSizeFor(s).na / (2 * team) }},
+		{Name: "LU", Dynamic: false, Build: BuildLU},
+		{Name: "MG", Dynamic: true, Build: BuildMG},
+		{Name: "SP", Dynamic: true, Build: BuildSP},
+	}
+}
+
+// ChunkFor resolves a kernel's dynamic chunk size (1 = Omni default).
+func (k Kernel) ChunkFor(s Scale, team int) int {
+	if k.DynChunk == nil {
+		return 1
+	}
+	c := k.DynChunk(s, team)
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// Extensions returns the kernels implemented beyond the paper's Table 2:
+// the remaining NPB 2.3 kernels (EP, FT, IS), usable with the CLI tools
+// and the extension experiments but excluded from the paper's figures.
+func Extensions() []Kernel {
+	return []Kernel{
+		{Name: "EP", Dynamic: true, Build: BuildEP},
+		{Name: "FT", Dynamic: true, Build: BuildFT},
+		{Name: "IS", Dynamic: true, Build: BuildIS},
+		{Name: "LUHP", Dynamic: false, Build: BuildLUHP},
+	}
+}
+
+// ByName returns the kernel (paper suite or extension) with the given name.
+func ByName(name string) (Kernel, error) {
+	for _, k := range append(Kernels(), Extensions()...) {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("npb: unknown kernel %q", name)
+}
+
+// lcg is a small deterministic pseudo-random generator (the ports must not
+// depend on math/rand ordering across Go versions).
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*2862933555777941757 + 3037000493} }
+
+func (g *lcg) next() uint64 {
+	g.s = g.s*6364136223846793005 + 1442695040888963407
+	return g.s
+}
+
+// f64 returns a value in [0, 1).
+func (g *lcg) f64() float64 { return float64(g.next()>>11) / (1 << 53) }
+
+// intn returns a value in [0, n).
+func (g *lcg) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// closeEnough compares two values with a relative tolerance (needed where
+// reduction order differs between parallel and serial execution).
+func closeEnough(got, want, tol float64) bool {
+	if got == want {
+		return true
+	}
+	d := math.Abs(got - want)
+	m := math.Max(math.Abs(got), math.Abs(want))
+	if m < 1 {
+		return d <= tol
+	}
+	return d/m <= tol
+}
+
+// compareArrays checks got against want with the given tolerance,
+// reporting the first mismatch.
+func compareArrays(name string, got, want []float64, tol float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if !closeEnough(got[i], want[i], tol) {
+			return fmt.Errorf("%s[%d] = %g, want %g", name, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// idx3 flattens a 3-D index for an n×n×n grid.
+func idx3(i, j, k, n int) int { return (k*n+j)*n + i }

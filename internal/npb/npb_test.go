@@ -1,0 +1,157 @@
+package npb
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/omp"
+)
+
+// runCfg returns a 4-node test configuration.
+func runCfg(mode core.Mode) omp.Config {
+	p := machine.DefaultParams()
+	p.Nodes = 4
+	return omp.Config{Machine: p, Mode: mode}
+}
+
+// buildAndRun constructs kernel k at ScaleTest under cfg, runs it, and
+// verifies against the serial reference.
+func buildAndRun(t *testing.T, k Kernel, cfg omp.Config) *omp.Runtime {
+	t.Helper()
+	rt, err := omp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := k.Build(rt, ScaleTest)
+	if err := rt.Run(inst.Program); err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatalf("%s: verification failed: %v", k.Name, err)
+	}
+	return rt
+}
+
+func TestKernelRegistry(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 5 {
+		t.Fatalf("%d kernels, want 5", len(ks))
+	}
+	names := []string{"BT", "CG", "LU", "MG", "SP"}
+	for i, k := range ks {
+		if k.Name != names[i] {
+			t.Fatalf("kernel %d = %s, want %s", i, k.Name, names[i])
+		}
+		if _, err := ByName(k.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ByName("XX"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	lu, _ := ByName("LU")
+	if lu.Dynamic {
+		t.Fatal("LU must be excluded from dynamic-scheduling runs")
+	}
+}
+
+func TestScaleStrings(t *testing.T) {
+	if ScaleTest.String() != "test" || ScaleSmall.String() != "small" || ScalePaper.String() != "paper" {
+		t.Fatal("scale strings")
+	}
+}
+
+// All kernels, all modes, static schedule: results must verify against the
+// serial references.
+func TestKernelsVerifyAcrossModes(t *testing.T) {
+	for _, k := range Kernels() {
+		for _, mode := range []core.Mode{core.ModeSingle, core.ModeDouble, core.ModeSlipstream} {
+			k, mode := k, mode
+			t.Run(k.Name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				buildAndRun(t, k, runCfg(mode))
+			})
+		}
+	}
+}
+
+// Slipstream with local-sync tokens and with self-invalidation: still
+// correct.
+func TestKernelsVerifySlipstreamVariants(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name+"/L1", func(t *testing.T) {
+			t.Parallel()
+			cfg := runCfg(core.ModeSlipstream)
+			cfg.Slipstream = core.L1
+			buildAndRun(t, k, cfg)
+		})
+		t.Run(k.Name+"/G0-selfinv", func(t *testing.T) {
+			t.Parallel()
+			cfg := runCfg(core.ModeSlipstream)
+			cfg.SelfInvalidate = true
+			buildAndRun(t, k, cfg)
+		})
+	}
+}
+
+// Dynamic and guided scheduling: the dynamic-capable kernels must verify
+// in slipstream mode (the A-stream replays its R-stream's chunks).
+func TestKernelsVerifyDynamicSchedules(t *testing.T) {
+	for _, k := range Kernels() {
+		if !k.Dynamic {
+			continue
+		}
+		for _, sched := range []omp.Schedule{omp.Dynamic, omp.Guided} {
+			k, sched := k, sched
+			t.Run(k.Name+"/"+sched.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := runCfg(core.ModeSlipstream)
+				cfg.Sched = sched
+				cfg.Chunk = 2
+				buildAndRun(t, k, cfg)
+			})
+		}
+	}
+}
+
+// Determinism: identical wall times across repeated runs.
+func TestKernelDeterminism(t *testing.T) {
+	wall := func() uint64 {
+		cfg := runCfg(core.ModeSlipstream)
+		rt, err := omp.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := BuildCG(rt, ScaleTest)
+		if err := rt.Run(inst.Program); err != nil {
+			t.Fatal(err)
+		}
+		return rt.M.WallTime()
+	}
+	if a, b := wall(), wall(); a != b {
+		t.Fatalf("CG slipstream wall time not deterministic: %d vs %d", a, b)
+	}
+}
+
+// The A-stream must generate useful prefetches on a real kernel: timely
+// plus late shared-read coverage by the A-stream should be well above zero.
+func TestSlipstreamCoverageOnCG(t *testing.T) {
+	rt, err := omp.New(runCfg(core.ModeSlipstream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := BuildCG(rt, ScaleTest)
+	if err := rt.Run(inst.Program); err != nil {
+		t.Fatal(err)
+	}
+	cls := &rt.M.Class
+	if cls.KindTotal(0) == 0 {
+		t.Fatal("no shared read fills recorded")
+	}
+	aCover := cls.Share(1, 0, 0) + cls.Share(1, 0, 1) // A timely + late reads
+	if aCover < 0.05 {
+		t.Fatalf("A-stream read coverage = %.1f%%, implausibly low", aCover*100)
+	}
+}

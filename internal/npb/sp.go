@@ -1,0 +1,161 @@
+package npb
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+// SP is the NPB scalar-pentadiagonal kernel: the same ADI structure as BT,
+// but each line solve factors into five independent scalar pentadiagonal
+// systems (one per solution component) instead of one block-tridiagonal
+// system.
+//
+// Substitution vs NPB 2.3: constant diagonally-dominant pentadiagonal
+// coefficients replace the flow-dependent ones (the solves in NPB are
+// preceded by the same kind of coefficient assembly from u; here one u
+// load per cell keeps that reference in the stream); forcing is a fixed
+// deterministic field. Sweep order, line independence, and barrier cadence
+// match SP.
+const (
+	spDt = 0.1
+	spD  = 4.0  // main diagonal
+	spE1 = -1.0 // first sub/super diagonal
+	spE2 = 0.2  // second sub/super diagonal
+)
+
+type spSize struct {
+	n     int
+	iters int
+}
+
+func spSizeFor(s Scale) spSize {
+	switch s {
+	case ScaleTest:
+		return spSize{n: 8, iters: 1}
+	case ScaleSmall:
+		return spSize{n: 10, iters: 2}
+	default:
+		return spSize{n: 12, iters: 3} // class-S edge: 100 interior lines resist even 32-way partition
+	}
+}
+
+// BuildSP constructs the SP benchmark instance on rt.
+func BuildSP(rt *omp.Runtime, s Scale) *Instance {
+	sz := spSizeFor(s)
+	n := sz.n
+	st := &btState{
+		n:       n,
+		u:       rt.NewF64(5 * n * n * n),
+		rhs:     rt.NewF64(5 * n * n * n),
+		forcing: rt.NewF64(5 * n * n * n),
+	}
+	g := newLCG(37)
+	for k := 1; k < n-1; k++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				for c := 0; c < 5; c++ {
+					st.forcing.Set(uix(idx3(i, j, k, n), c), g.f64()-0.5)
+				}
+			}
+		}
+	}
+
+	program := func(mt *omp.Thread) {
+		for it := 0; it < sz.iters; it++ {
+			mt.Parallel(func(t *omp.Thread) {
+				btComputeRHS(t, st) // identical RHS structure (shared helper)
+				spSolveDir(t, st, 0)
+				btScaleRHS(t, st, btScale)
+				spSolveDir(t, st, 1)
+				btScaleRHS(t, st, btScale)
+				spSolveDir(t, st, 2)
+				btScaleRHS(t, st, btScale)
+				btAdd(t, st)
+			})
+		}
+	}
+
+	verify := func() error {
+		want := spSerial(st.forcing.Data(), sz)
+		return compareArrays("sp.u", st.u.Data(), want, 0)
+	}
+
+	return &Instance{
+		Program: program,
+		Verify:  verify,
+		Norm:    func() float64 { return l2norm(st.u.Data()) },
+		Size:    fmt.Sprintf("grid=%d^3x5 adi-steps=%d", n, sz.iters),
+	}
+}
+
+// spSolveDir runs the five scalar pentadiagonal solves along every line in
+// direction dir, leaving solutions in rhs. As in the NPB 2.3 OpenMP port,
+// worksharing is over the single outermost dimension, so at class-S sizes
+// the degree of parallelism saturates well below 2 threads/CMP.
+func spSolveDir(t *omp.Thread, st *btState, dir int) {
+	n := st.n
+	m := n - 2
+	t.For(1, n-1, func(o1 int) {
+		line := make([]float64, m)
+		for o2 := 1; o2 < n-1; o2++ {
+			for c := 0; c < 5; c++ {
+				for s := 0; s < m; s++ {
+					id := btLineCell(dir, s+1, o1, o2, n)
+					// One u reference per cell: the coefficient-assembly load.
+					_ = t.LdF(st.u, uix(id, 0))
+					line[s] = t.LdF(st.rhs, uix(id, c))
+				}
+				pentaSolve(spE2, spE1, spD, spE1, spE2, line)
+				t.Compute(uint64(m) * 14)
+				for s := 0; s < m; s++ {
+					id := btLineCell(dir, s+1, o1, o2, n)
+					t.StF(st.rhs, uix(id, c), line[s])
+				}
+			}
+		}
+	})
+}
+
+// spSerial is the sequential reference.
+func spSerial(forcing []float64, sz spSize) []float64 {
+	n := sz.n
+	u := make([]float64, 5*n*n*n)
+	rhs := make([]float64, 5*n*n*n)
+	m := n - 2
+	for it := 0; it < sz.iters; it++ {
+		// The parallel program shares BT's RHS helper, so the serial
+		// reference shares BT's serial RHS (same accumulation order).
+		btSerialRHS(u, rhs, forcing, n)
+		for dir := 0; dir < 3; dir++ {
+			for o1 := 1; o1 < n-1; o1++ {
+				for o2 := 1; o2 < n-1; o2++ {
+					line := make([]float64, m)
+					for c := 0; c < 5; c++ {
+						for s := 0; s < m; s++ {
+							line[s] = rhs[uix(btLineCell(dir, s+1, o1, o2, n), c)]
+						}
+						pentaSolve(spE2, spE1, spD, spE1, spE2, line)
+						for s := 0; s < m; s++ {
+							rhs[uix(btLineCell(dir, s+1, o1, o2, n), c)] = line[s]
+						}
+					}
+				}
+			}
+			for id := 0; id < n*n*n*5; id++ {
+				rhs[id] *= btScale
+			}
+		}
+		for k := 1; k < n-1; k++ {
+			for j := 1; j < n-1; j++ {
+				for i := 1; i < n-1; i++ {
+					id := idx3(i, j, k, n)
+					for c := 0; c < 5; c++ {
+						u[uix(id, c)] += rhs[uix(id, c)]
+					}
+				}
+			}
+		}
+	}
+	return u
+}

@@ -1,0 +1,91 @@
+package omp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// RegionProfile is the measured cost of one parallel-region call site
+// (identified by the label passed to ParallelP, or by sequence number for
+// unlabeled regions).
+type RegionProfile struct {
+	Label  string
+	Count  int
+	Cycles uint64
+}
+
+// profiler accumulates per-region timings on the master thread.
+type profiler struct {
+	enabled  bool
+	labeling bool // inside ParallelP: suppress the sequence-keyed record
+	byLabel  map[string]*RegionProfile
+}
+
+// EnableProfile turns on per-region timing. Regions run through ParallelP
+// are keyed by label; Parallel/ParallelD calls are keyed "region-<seq>".
+func (rt *Runtime) EnableProfile() {
+	rt.prof.enabled = true
+	if rt.prof.byLabel == nil {
+		rt.prof.byLabel = make(map[string]*RegionProfile)
+	}
+}
+
+// record adds one region execution.
+func (p *profiler) record(label string, cycles uint64) {
+	if !p.enabled {
+		return
+	}
+	r := p.byLabel[label]
+	if r == nil {
+		r = &RegionProfile{Label: label}
+		p.byLabel[label] = r
+	}
+	r.Count++
+	r.Cycles += cycles
+}
+
+// Profiles returns the accumulated per-region costs, most expensive first.
+func (rt *Runtime) Profiles() []RegionProfile {
+	out := make([]RegionProfile, 0, len(rt.prof.byLabel))
+	for _, r := range rt.prof.byLabel {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// WriteProfile renders the region profile as a table.
+func (rt *Runtime) WriteProfile(w io.Writer) {
+	total := uint64(0)
+	for _, r := range rt.prof.byLabel {
+		total += r.Cycles
+	}
+	fmt.Fprintf(w, "%-24s %6s %12s %7s\n", "region", "calls", "cycles", "share")
+	for _, r := range rt.Profiles() {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.Cycles) / float64(total)
+		}
+		fmt.Fprintf(w, "%-24s %6d %12d %6.1f%%\n", r.Label, r.Count, r.Cycles, share)
+	}
+}
+
+// ParallelP is Parallel with a profiling label (and optional directive):
+// when profiling is enabled, the master's wall time for each execution of
+// the region accumulates under the label.
+func (t *Thread) ParallelP(label string, dir *core.Directive, body func(*Thread)) {
+	rt := t.rt
+	start := t.P.Ctx.Now()
+	rt.prof.labeling = true
+	t.ParallelD(dir, body)
+	rt.prof.labeling = false
+	rt.prof.record(label, t.P.Ctx.Now()-start)
+}

@@ -1,0 +1,180 @@
+package omp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// TestGuidedChunksShrink: with all threads competing, guided scheduling
+// produces ownership runs (chunks) whose sizes shrink from about
+// remaining/(2*threads) down to the minimum chunk.
+func TestGuidedChunksShrink(t *testing.T) {
+	c := cfg(core.ModeSingle, 4)
+	rt, _ := New(c)
+	const n = 2000
+	owner := make([]int, n)
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			t2.ForSched(Guided, 2, 0, n, false, func(i int) {
+				owner[i] = t2.ID()
+				t2.Compute(5)
+			})
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Split into ownership runs.
+	var runs []int
+	runLen := 1
+	for i := 1; i < n; i++ {
+		if owner[i] == owner[i-1] {
+			runLen++
+		} else {
+			runs = append(runs, runLen)
+			runLen = 1
+		}
+	}
+	runs = append(runs, runLen)
+	if len(runs) < 4 {
+		t.Fatalf("guided produced only %d ownership runs", len(runs))
+	}
+	first, last := runs[0], runs[len(runs)-1]
+	want := n / (2 * 4)
+	if first < want/2 || first > 2*want {
+		t.Fatalf("first chunk %d, want about %d", first, want)
+	}
+	if last > first {
+		t.Fatalf("chunks grew: first %d, last %d", first, last)
+	}
+}
+
+// TestNamedCriticalsIndependent: different names use different locks, so
+// counts protected by each are exact and both make progress.
+func TestNamedCriticalsIndependent(t *testing.T) {
+	c := cfg(core.ModeDouble, 2)
+	rt, _ := New(c)
+	a := rt.NewI64(1)
+	b := rt.NewI64(1)
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			for k := 0; k < 8; k++ {
+				t2.CriticalNamed("a", func() { t2.StI(a, 0, t2.LdI(a, 0)+1) })
+				t2.CriticalNamed("b", func() { t2.StI(b, 0, t2.LdI(b, 0)+1) })
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Get(0) != 32 || b.Get(0) != 32 {
+		t.Fatalf("counts = %d, %d; want 32, 32", a.Get(0), b.Get(0))
+	}
+}
+
+// TestLockWaitAttribution: contended lock time lands in the lock category.
+func TestLockWaitAttribution(t *testing.T) {
+	c := cfg(core.ModeSingle, 4)
+	rt, _ := New(c)
+	cell := rt.NewI64(1)
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			for k := 0; k < 5; k++ {
+				t2.Critical(func() {
+					t2.Compute(2000) // long critical section forces queueing
+					t2.StI(cell, 0, t2.LdI(cell, 0)+1)
+				})
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var lock uint64
+	for _, p := range rt.M.Procs {
+		lock += p.Bd[stats.CatLock]
+	}
+	if lock < 20000 {
+		t.Fatalf("lock wait = %d cycles, expected heavy contention", lock)
+	}
+}
+
+// TestStaticPartitionProperty: static blocks tile [lo,hi) exactly for any
+// team size and range.
+func TestStaticPartitionProperty(t *testing.T) {
+	f := func(loRaw, spanRaw uint8, nodesRaw uint8) bool {
+		nodes := 1 + int(nodesRaw%8)
+		lo := int(loRaw % 50)
+		hi := lo + int(spanRaw)
+		c := cfg(core.ModeSingle, nodes)
+		rt, _ := New(c)
+		seen := make([]int, hi-lo)
+		if err := rt.Run(func(m *Thread) {
+			m.Parallel(func(t2 *Thread) {
+				t2.ForStatic(lo, hi, func(i int) {
+					seen[i-lo]++
+				})
+			})
+		}); err != nil {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicChunkBoundaries: every dynamic chunk is at most the requested
+// size and they tile the space.
+func TestDynamicChunkBoundaries(t *testing.T) {
+	c := cfg(core.ModeSingle, 2)
+	c.Sched = Dynamic
+	c.Chunk = 7
+	rt, _ := New(c)
+	const n = 50
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			t2.For(0, n, func(i int) { owner[i] = t2.ID() })
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Owners change only at multiples of the chunk size.
+	for i := 1; i < n; i++ {
+		if owner[i] != owner[i-1] && i%7 != 0 {
+			t.Fatalf("chunk boundary at %d not aligned to chunk size", i)
+		}
+	}
+}
+
+// TestRuntimeAccessors: thread metadata APIs.
+func TestRuntimeAccessors(t *testing.T) {
+	c := cfg(core.ModeSlipstream, 2)
+	rt, _ := New(c)
+	if err := rt.Run(func(m *Thread) {
+		if m.ID() != 0 || m.IsA() {
+			t.Error("master metadata wrong")
+		}
+		if m.Num() != 2 || m.Runtime() != rt {
+			t.Error("accessors wrong")
+		}
+		m.Parallel(func(t2 *Thread) {
+			if t2.Num() != 2 {
+				t.Error("team size in region wrong")
+			}
+			t2.Compute(1)
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

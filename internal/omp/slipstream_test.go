@@ -1,0 +1,410 @@
+package omp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// TestTokenAccountingAcrossRegions: after a program with several regions
+// and barriers, every pair's consumed-token count equals its inserted
+// count (A-streams neither leak nor overdraw tokens).
+func TestTokenAccountingAcrossRegions(t *testing.T) {
+	for _, ss := range []core.Config{core.G0, core.L1, {Type: core.LocalSync, Tokens: 3}} {
+		c := cfg(core.ModeSlipstream, 4)
+		c.Slipstream = ss
+		rt, _ := New(c)
+		if err := rt.Run(func(m *Thread) {
+			for r := 0; r < 3; r++ {
+				m.Parallel(func(t2 *Thread) {
+					for b := 0; b < 4; b++ {
+						t2.Compute(50)
+						t2.Barrier()
+					}
+				})
+			}
+		}); err != nil {
+			t.Fatalf("%v: %v", ss, err)
+		}
+		for _, nd := range rt.M.Nodes {
+			if nd.Regs.ABarriers != nd.Regs.RBarriers {
+				t.Fatalf("%v node %d: A=%d R=%d (tokens leaked)", ss, nd.ID, nd.Regs.ABarriers, nd.Regs.RBarriers)
+			}
+		}
+		if rt.SS.Recoveries() != 0 {
+			t.Fatalf("%v: unexpected recoveries", ss)
+		}
+	}
+}
+
+// TestAStreamLeadBounded: under LOCAL_SYNC with k tokens the A-stream can
+// never be more than k+1 barriers ahead of its R-stream at any instant.
+// We sample the registers from the R side at every barrier.
+func TestAStreamLeadBounded(t *testing.T) {
+	for _, tok := range []int{0, 1, 2} {
+		c := cfg(core.ModeSlipstream, 2)
+		c.Slipstream = core.Config{Type: core.LocalSync, Tokens: tok}
+		rt, _ := New(c)
+		maxLead := int64(0)
+		if err := rt.Run(func(m *Thread) {
+			m.Parallel(func(t2 *Thread) {
+				for b := 0; b < 8; b++ {
+					t2.Compute(200)
+					if !t2.IsA() {
+						r := t2.P.Node.Regs
+						if lead := r.ABarriers - r.RBarriers; lead > maxLead {
+							maxLead = lead
+						}
+					}
+					t2.Barrier()
+				}
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if maxLead > int64(tok)+1 {
+			t.Fatalf("tokens=%d: A led by %d barriers, bound is %d", tok, maxLead, tok+1)
+		}
+	}
+}
+
+// TestG0TokenAvailableAtCompletion: under global sync the A-stream's
+// barrier wait ends at the barrier's completion, not after its R-stream's
+// wake-up — the A-stream of a *non-flipping* R must lead it into the next
+// session.
+func TestG0TokenAvailableAtCompletion(t *testing.T) {
+	c := cfg(core.ModeSlipstream, 4)
+	c.Slipstream = core.G0
+	rt, _ := New(c)
+	var aAt, rAt uint64
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			// Stagger arrivals so thread 0 is never the last arriver.
+			t2.Compute(uint64(100 + 500*t2.ID()))
+			t2.Barrier()
+			if t2.ID() == 0 {
+				if t2.IsA() {
+					aAt = t2.P.Ctx.Now()
+				} else {
+					rAt = t2.P.Ctx.Now()
+				}
+			}
+			t2.Compute(10)
+			t2.Barrier()
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if aAt >= rAt {
+		t.Fatalf("A passed the barrier at %d, not before its R at %d", aAt, rAt)
+	}
+}
+
+// TestAbandonedAStreamIsFree: after absorbing a recovery the A-stream
+// races through the rest of the region without charging simulated time to
+// loads/stores/compute.
+func TestAbandonedAStreamIsFree(t *testing.T) {
+	c := cfg(core.ModeSlipstream, 2)
+	rt, _ := New(c)
+	arr := rt.NewF64(100)
+	var before, after uint64
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			if t2.IsA() && t2.ID() == 0 {
+				rt.SS.InjectDivergence(t2.P)
+			}
+			t2.For(0, 100, func(i int) {
+				t2.Compute(5)
+				t2.StF(arr, i, 1)
+			})
+			if t2.IsA() && t2.ID() == 0 {
+				before = t2.P.Ctx.Now()
+				for i := 0; i < 100; i++ {
+					t2.Compute(1000)
+					_ = t2.LdF(arr, i)
+				}
+				after = t2.P.Ctx.Now()
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("abandoned A-stream consumed %d cycles", after-before)
+	}
+}
+
+// TestAStreamSkipsOutput: output operations are irreversible; only the
+// R-stream may perform them.
+func TestAStreamSkipsOutput(t *testing.T) {
+	c := cfg(core.ModeSlipstream, 2)
+	rt, _ := New(c)
+	var aTime0, aTime1 uint64
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			if t2.IsA() && t2.ID() == 0 {
+				aTime0 = t2.P.Ctx.Now()
+			}
+			t2.Output(10000)
+			if t2.IsA() && t2.ID() == 0 {
+				aTime1 = t2.P.Ctx.Now()
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if aTime1 != aTime0 {
+		t.Fatal("A-stream stalled on an output operation")
+	}
+}
+
+// TestInputSynchronizesStreams: the A-stream must not pass an input
+// operation before its R-stream completes it (it must see the same image).
+func TestInputSynchronizesStreams(t *testing.T) {
+	c := cfg(core.ModeSlipstream, 2)
+	rt, _ := New(c)
+	var aPassed, rDone uint64
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			if t2.ID() == 0 {
+				if !t2.IsA() {
+					t2.Compute(5000) // R is slow to reach the input
+				}
+				t2.Input(2000)
+				if t2.IsA() {
+					aPassed = t2.P.Ctx.Now()
+				} else {
+					rDone = t2.P.Ctx.Now()
+				}
+			}
+			t2.Barrier()
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if aPassed < rDone {
+		t.Fatalf("A passed the input at %d before R finished it at %d", aPassed, rDone)
+	}
+}
+
+// TestMixedSyncRegions: alternating G0/L1/none regions keep the pair
+// registers consistent.
+func TestMixedSyncRegions(t *testing.T) {
+	c := cfg(core.ModeSlipstream, 2)
+	rt, _ := New(c)
+	dirs := []*core.Directive{
+		nil, // global (G0 default)
+		{Type: core.LocalSync, Tokens: 1, HasTokens: true},
+		{Type: core.NoneSync},
+		{Type: core.GlobalSync, Tokens: 2, HasTokens: true},
+	}
+	if err := rt.Run(func(m *Thread) {
+		for _, d := range dirs {
+			m.ParallelD(d, func(t2 *Thread) {
+				t2.Compute(100)
+				t2.Barrier()
+				t2.Compute(100)
+			})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range rt.M.Nodes {
+		if nd.Regs.ABarriers != nd.Regs.RBarriers {
+			t.Fatalf("node %d registers diverged: %+v", nd.ID, nd.Regs)
+		}
+	}
+}
+
+// TestSlipstreamBreakdownHasNoSingleIdleProc: in slipstream mode both
+// processors of every node accumulate time.
+func TestSlipstreamUsesBothProcessors(t *testing.T) {
+	c := cfg(core.ModeSlipstream, 2)
+	rt, _ := New(c)
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			t2.For(0, 200, func(i int) { t2.Compute(3) })
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rt.M.Procs {
+		if p.Bd.Total() == 0 {
+			t.Fatalf("proc %d idle in slipstream mode", p.GID)
+		}
+	}
+}
+
+// TestSingleModeLeavesSecondCPUIdle.
+func TestSingleModeLeavesSecondCPUIdle(t *testing.T) {
+	c := cfg(core.ModeSingle, 2)
+	rt, _ := New(c)
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) { t2.Compute(100) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range rt.M.Nodes {
+		if nd.Procs[1].Bd.Total() != 0 {
+			t.Fatalf("node %d second CPU not idle in single mode", nd.ID)
+		}
+	}
+}
+
+// Property: for random region/barrier structures, slipstream results
+// equal single-mode results and registers end balanced.
+func TestPropertySlipstreamEquivalence(t *testing.T) {
+	f := func(structure []uint8) bool {
+		if len(structure) > 6 {
+			structure = structure[:6]
+		}
+		if len(structure) == 0 {
+			return true
+		}
+		run := func(mode core.Mode) []float64 {
+			c := cfg(mode, 2)
+			c.Slipstream = core.L1
+			rt, _ := New(c)
+			arr := rt.NewF64(64)
+			if err := rt.Run(func(m *Thread) {
+				for _, s := range structure {
+					nb := int(s % 3)
+					m.Parallel(func(t2 *Thread) {
+						t2.For(0, 64, func(i int) {
+							t2.StF(arr, i, t2.LdF(arr, i)+float64(nb+1))
+							t2.Compute(2)
+						})
+						for b := 0; b < nb; b++ {
+							t2.Barrier()
+						}
+					})
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return append([]float64(nil), arr.Data()...)
+		}
+		single := run(core.ModeSingle)
+		slip := run(core.ModeSlipstream)
+		for i := range single {
+			if single[i] != slip[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBreakdownCategoriesSlipstream: A-stream barrier waits are attributed
+// to the barrier category; job waits to jobwait.
+func TestBreakdownCategoriesSlipstream(t *testing.T) {
+	c := cfg(core.ModeSlipstream, 2)
+	rt, _ := New(c)
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			if !t2.IsA() {
+				t2.Compute(20000) // R is slow; A waits for tokens
+			}
+			t2.Barrier()
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a := rt.M.Procs[1] // node 0 A-stream
+	if a.Bd[stats.CatBarrier] < 10000 {
+		t.Fatalf("A-stream barrier wait = %d, want large", a.Bd[stats.CatBarrier])
+	}
+}
+
+// TestRecoveryDuringDynamicLoop: an A-stream recovered mid-region must not
+// deadlock its R-stream on the scheduling-decision semaphore; the program
+// completes and later regions run slipstream again.
+func TestRecoveryDuringDynamicLoop(t *testing.T) {
+	for _, sched := range []Schedule{Dynamic, Guided} {
+		c := cfg(core.ModeSlipstream, 2)
+		c.Sched = sched
+		c.Chunk = 8
+		rt, _ := New(c)
+		const n = 512
+		dst := rt.NewF64(n)
+		injected := false
+		aInLater := false
+		if err := rt.Run(func(m *Thread) {
+			m.Parallel(func(t2 *Thread) {
+				t2.For(0, n, func(i int) {
+					if t2.IsA() && !injected && i > 30 {
+						injected = true
+						rt.SS.InjectDivergence(t2.P)
+					}
+					t2.Compute(2)
+					t2.StF(dst, i, 1)
+				})
+				// Second loop in the same region: R publishes decisions the
+				// abandoned A-stream will never consume.
+				t2.For(0, n, func(i int) {
+					t2.StF(dst, i, t2.LdF(dst, i)+1)
+				})
+			})
+			m.Parallel(func(t2 *Thread) {
+				if t2.IsA() {
+					aInLater = true
+				}
+				t2.For(0, n, func(i int) {
+					t2.StF(dst, i, t2.LdF(dst, i)+1)
+				})
+			})
+		}); err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+		if !injected {
+			t.Fatalf("%v: injection never happened", sched)
+		}
+		if !aInLater {
+			t.Fatalf("%v: A-streams did not resume in the next region", sched)
+		}
+		for i := 0; i < n; i++ {
+			if dst.Get(i) != 3 {
+				t.Fatalf("%v: dst[%d] = %v, want 3", sched, i, dst.Get(i))
+			}
+		}
+	}
+}
+
+// TestRecoveryDuringAffinityLoop: same liveness property for the affinity
+// schedule's chunk handoff.
+func TestRecoveryDuringAffinityLoop(t *testing.T) {
+	c := cfg(core.ModeSlipstream, 2)
+	rt, _ := New(c)
+	const n = 256
+	dst := rt.NewF64(n)
+	injected := false
+	if err := rt.Run(func(m *Thread) {
+		m.Parallel(func(t2 *Thread) {
+			t2.ForAffinity(8, 0, n, func(i int) {
+				if t2.IsA() && !injected && i > 20 {
+					injected = true
+					rt.SS.InjectDivergence(t2.P)
+				}
+				t2.StF(dst, i, 1)
+			})
+			t2.ForAffinity(8, 0, n, func(i int) {
+				t2.StF(dst, i, t2.LdF(dst, i)+1)
+			})
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !injected {
+		t.Fatal("injection never happened")
+	}
+	for i := 0; i < n; i++ {
+		if dst.Get(i) != 2 {
+			t.Fatalf("dst[%d] = %v", i, dst.Get(i))
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package shmem provides the simulated shared virtual address space.
+//
+// OpenMP exposes shared data explicitly, and the paper's runtime keeps the
+// shared virtual space contiguous (UNIX process model) so that shared and
+// private data are easy to delineate. We mirror that: shared arrays are
+// allocated from a single contiguous simulated address range, while private
+// data is ordinary Go state whose cost is charged as compute cycles.
+//
+// Arrays are backed by real Go slices, so simulated kernels compute real,
+// verifiable results; the simulated addresses exist purely to drive the
+// cache and coherence timing model.
+package shmem
+
+import "fmt"
+
+// Addr is a simulated physical/virtual address (the machine is flat-mapped).
+type Addr uint64
+
+// Base is the start of the shared segment. Non-zero so that an accidental
+// zero address is detectable as a bug.
+const Base Addr = 0x10000000
+
+// Space is a bump allocator for the contiguous shared segment.
+type Space struct {
+	next Addr
+}
+
+// NewSpace returns an empty shared address space.
+func NewSpace() *Space { return &Space{next: Base} }
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the starting address.
+func (s *Space) Alloc(size, align int) Addr {
+	if align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("shmem: bad alignment %d", align))
+	}
+	a := Addr(align)
+	s.next = (s.next + a - 1) &^ (a - 1)
+	p := s.next
+	s.next += Addr(size)
+	return p
+}
+
+// Used returns the number of bytes allocated so far.
+func (s *Space) Used() uint64 { return uint64(s.next - Base) }
+
+// Contains reports whether addr lies inside the allocated shared segment.
+func (s *Space) Contains(addr Addr) bool { return addr >= Base && addr < s.next }
+
+// F64 is a shared array of float64 values with a simulated address range.
+type F64 struct {
+	base Addr
+	data []float64
+}
+
+// NewF64 allocates a shared float64 array of n elements, line-aligned.
+func NewF64(s *Space, n int, lineBytes int) *F64 {
+	return &F64{base: s.Alloc(n*8, lineBytes), data: make([]float64, n)}
+}
+
+// Len returns the number of elements.
+func (a *F64) Len() int { return len(a.data) }
+
+// Addr returns the simulated address of element i.
+func (a *F64) Addr(i int) Addr { return a.base + Addr(i)*8 }
+
+// Get reads element i from the backing store (no timing).
+func (a *F64) Get(i int) float64 { return a.data[i] }
+
+// Set writes element i in the backing store (no timing).
+func (a *F64) Set(i int, v float64) { a.data[i] = v }
+
+// Data exposes the backing slice for verification against references.
+func (a *F64) Data() []float64 { return a.data }
+
+// I64 is a shared array of int64 values (used for flags, counters, and
+// scheduler state that lives in shared memory).
+type I64 struct {
+	base Addr
+	data []int64
+}
+
+// NewI64 allocates a shared int64 array of n elements, line-aligned.
+func NewI64(s *Space, n int, lineBytes int) *I64 {
+	return &I64{base: s.Alloc(n*8, lineBytes), data: make([]int64, n)}
+}
+
+// Len returns the number of elements.
+func (a *I64) Len() int { return len(a.data) }
+
+// Addr returns the simulated address of element i.
+func (a *I64) Addr(i int) Addr { return a.base + Addr(i)*8 }
+
+// Get reads element i from the backing store (no timing).
+func (a *I64) Get(i int) int64 { return a.data[i] }
+
+// Set writes element i in the backing store (no timing).
+func (a *I64) Set(i int, v int64) { a.data[i] = v }
+
+// Data exposes the backing slice for verification.
+func (a *I64) Data() []int64 { return a.data }

@@ -1,0 +1,93 @@
+package shmem
+
+import "testing"
+
+func TestAllocAlignment(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(10, 64)
+	if a%64 != 0 {
+		t.Fatalf("addr %#x not 64-aligned", a)
+	}
+	b := s.Alloc(4, 64)
+	if b%64 != 0 {
+		t.Fatalf("addr %#x not 64-aligned", b)
+	}
+	if b < a+10 {
+		t.Fatalf("overlapping allocations: a=%#x..+10 b=%#x", a, b)
+	}
+}
+
+func TestAllocBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc with non-power-of-two alignment did not panic")
+		}
+	}()
+	NewSpace().Alloc(8, 3)
+}
+
+func TestContains(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(128, 64)
+	if !s.Contains(a) || !s.Contains(a+127) {
+		t.Fatal("allocated range not contained")
+	}
+	if s.Contains(Base - 1) {
+		t.Fatal("address below base reported contained")
+	}
+	if s.Contains(a + 128) {
+		t.Fatal("address above allocation reported contained")
+	}
+}
+
+func TestF64AddressesAndValues(t *testing.T) {
+	s := NewSpace()
+	arr := NewF64(s, 8, 64)
+	if arr.Len() != 8 {
+		t.Fatalf("len = %d", arr.Len())
+	}
+	if arr.Addr(0)%64 != 0 {
+		t.Fatalf("base %#x not line aligned", arr.Addr(0))
+	}
+	if arr.Addr(3)-arr.Addr(0) != 24 {
+		t.Fatalf("element stride wrong: %d", arr.Addr(3)-arr.Addr(0))
+	}
+	arr.Set(5, 3.25)
+	if arr.Get(5) != 3.25 {
+		t.Fatalf("get/set roundtrip = %v", arr.Get(5))
+	}
+	if arr.Data()[5] != 3.25 {
+		t.Fatal("Data() not backed by same storage")
+	}
+}
+
+func TestI64AddressesAndValues(t *testing.T) {
+	s := NewSpace()
+	arr := NewI64(s, 4, 64)
+	arr.Set(0, -7)
+	if arr.Get(0) != -7 {
+		t.Fatalf("get = %d", arr.Get(0))
+	}
+	if arr.Addr(1)-arr.Addr(0) != 8 {
+		t.Fatal("int64 stride wrong")
+	}
+}
+
+func TestDistinctArraysDoNotOverlap(t *testing.T) {
+	s := NewSpace()
+	a := NewF64(s, 100, 64)
+	b := NewF64(s, 100, 64)
+	aEnd := a.Addr(99) + 8
+	if b.Addr(0) < aEnd {
+		t.Fatalf("arrays overlap: a ends %#x, b starts %#x", aEnd, b.Addr(0))
+	}
+}
+
+func TestUsedGrows(t *testing.T) {
+	s := NewSpace()
+	before := s.Used()
+	NewF64(s, 1000, 64)
+	if s.Used() < before+8000 {
+		t.Fatalf("used = %d, want >= %d", s.Used(), before+8000)
+	}
+}

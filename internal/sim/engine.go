@@ -1,0 +1,249 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with coroutine-style execution contexts.
+//
+// The engine drives a set of contexts (simulated processors). Exactly one
+// context runs at any instant: the engine pops the earliest event from its
+// heap, transfers control to the owning context, and the context runs real
+// Go code until it needs simulated time to pass, at which point it parks
+// itself and control returns to the engine. Ties in event time are broken
+// by event sequence number, so a given program produces an identical event
+// order on every run. Because only one context executes at a time, code
+// running inside contexts may freely share simulator data structures
+// without locks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp, measured in processor clock cycles.
+type Time = uint64
+
+// event is a scheduled occurrence: either waking a parked context or
+// running a callback at a given time.
+type event struct {
+	at  Time
+	seq uint64
+	ctx *Context
+	fn  func()
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator.
+type Engine struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	contexts []*Context
+	yield    chan struct{} // contexts signal the engine here when parking
+	running  bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// schedule enqueues an event at absolute time at.
+func (e *Engine) schedule(at Time, ctx *Context, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, ctx: ctx, fn: fn})
+}
+
+// At schedules fn to run at absolute simulation time at. fn runs in engine
+// context and must not park.
+func (e *Engine) At(at Time, fn func()) { e.schedule(at, nil, fn) }
+
+// Spawn creates a context that will begin executing fn at time start.
+// Contexts must be spawned before Run (or from a running context or
+// callback); fn receives the context for parking operations.
+func (e *Engine) Spawn(name string, start Time, fn func(*Context)) *Context {
+	c := &Context{
+		eng:  e,
+		name: name,
+		run:  make(chan struct{}),
+	}
+	e.contexts = append(e.contexts, c)
+	go func() {
+		<-c.run // wait for first dispatch
+		fn(c)
+		c.finished = true
+		e.yield <- struct{}{}
+	}()
+	e.schedule(start, c, nil)
+	return c
+}
+
+// Run executes events until the heap is empty. It returns an error if
+// unfinished contexts remain when the heap drains (a deadlock: some context
+// parked without a scheduled wake-up, which indicates a bug in the caller's
+// synchronization code).
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: engine already running")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		c := ev.ctx
+		if c.finished {
+			continue
+		}
+		c.run <- struct{}{}
+		<-e.yield
+	}
+	for _, c := range e.contexts {
+		if !c.finished {
+			return fmt.Errorf("sim: deadlock: context %q parked with no pending event at t=%d", c.name, e.now)
+		}
+	}
+	return nil
+}
+
+// Finished reports whether every spawned context has completed.
+func (e *Engine) Finished() bool {
+	for _, c := range e.contexts {
+		if !c.finished {
+			return false
+		}
+	}
+	return true
+}
+
+// Context is a simulated thread of execution managed by an Engine.
+type Context struct {
+	eng      *Engine
+	name     string
+	run      chan struct{}
+	finished bool
+}
+
+// Name returns the context's debug name.
+func (c *Context) Name() string { return c.name }
+
+// Engine returns the owning engine.
+func (c *Context) Engine() *Engine { return c.eng }
+
+// Now returns the current simulation time.
+func (c *Context) Now() Time { return c.eng.now }
+
+// park suspends the context until the engine dispatches it again.
+func (c *Context) park() {
+	c.eng.yield <- struct{}{}
+	<-c.run
+}
+
+// WaitUntil parks the context until absolute time at (no-op if at <= now).
+func (c *Context) WaitUntil(at Time) {
+	if at <= c.eng.now {
+		return
+	}
+	c.eng.schedule(at, c, nil)
+	c.park()
+}
+
+// Advance parks the context for d cycles of simulated time.
+func (c *Context) Advance(d Time) {
+	if d == 0 {
+		return
+	}
+	c.eng.schedule(c.eng.now+d, c, nil)
+	c.park()
+}
+
+// SpinUntil repeatedly evaluates cond, advancing poll cycles between
+// evaluations (and charging perPoll, e.g. a flag load latency, via the
+// charge callback if non-nil). It returns the total cycles spent waiting.
+// cond is evaluated once immediately; if already true the wait is free.
+func (c *Context) SpinUntil(cond func() bool, poll Time, charge func() Time) Time {
+	if poll == 0 {
+		poll = 1
+	}
+	start := c.eng.now
+	for !cond() {
+		if charge != nil {
+			c.Advance(charge())
+		}
+		if cond() {
+			break
+		}
+		c.Advance(poll)
+	}
+	return c.eng.now - start
+}
+
+// Resource models a unit that can serve one transaction at a time, with
+// queueing delay when busy (contention at network ports, buses, and memory
+// controllers is modelled this way).
+type Resource struct {
+	name      string
+	busyUntil Time
+	busyTotal Time
+	waitTotal Time
+	uses      uint64
+}
+
+// NewResource returns a named idle resource.
+func NewResource(name string) *Resource { return &Resource{name: name} }
+
+// Acquire reserves the resource for occ cycles starting no earlier than
+// now, and returns the total delay from now until the reservation ends
+// (queueing wait plus occupancy).
+func (r *Resource) Acquire(now, occ Time) Time {
+	start := now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + occ
+	r.busyTotal += occ
+	r.waitTotal += start - now
+	r.uses++
+	return r.busyUntil - now
+}
+
+// Uses returns how many times the resource was acquired.
+func (r *Resource) Uses() uint64 { return r.uses }
+
+// BusyUntil returns the time at which the last reservation ends.
+func (r *Resource) BusyUntil() Time { return r.busyUntil }
+
+// BusyTotal returns total cycles the resource was occupied.
+func (r *Resource) BusyTotal() Time { return r.busyTotal }
+
+// WaitTotal returns total queueing cycles callers spent waiting.
+func (r *Resource) WaitTotal() Time { return r.waitTotal }
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }

@@ -1,0 +1,212 @@
+// Package stats holds the measurement types the paper's evaluation reports:
+// per-processor execution-time breakdowns (Figures 2 and 4) and the
+// shared-data memory-request classification (Figures 3 and 5).
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Category labels where a processor's cycles went. The set matches the
+// paper's Figure 2/4 legend: busy cycles, memory stalls, lock and barrier
+// synchronization, scheduling time, and job-wait time (a slave waiting for
+// a parallel region to be assigned).
+type Category int
+
+// Time categories.
+const (
+	CatBusy Category = iota
+	CatMem
+	CatLock
+	CatBarrier
+	CatSched
+	CatJobWait
+	NumCats
+)
+
+// String returns the category label used in reports.
+func (c Category) String() string {
+	switch c {
+	case CatBusy:
+		return "busy"
+	case CatMem:
+		return "mem"
+	case CatLock:
+		return "lock"
+	case CatBarrier:
+		return "barrier"
+	case CatSched:
+		return "sched"
+	case CatJobWait:
+		return "jobwait"
+	}
+	return fmt.Sprintf("cat(%d)", int(c))
+}
+
+// Breakdown accumulates cycles per category.
+type Breakdown [NumCats]uint64
+
+// Add charges cycles to a category.
+func (b *Breakdown) Add(c Category, cycles uint64) { b[c] += cycles }
+
+// Total returns the sum over all categories.
+func (b *Breakdown) Total() uint64 {
+	var t uint64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// AddAll accumulates another breakdown into this one.
+func (b *Breakdown) AddAll(o *Breakdown) {
+	for i := range b {
+		b[i] += o[i]
+	}
+}
+
+// Shares returns each category as a fraction of the total (zeros if empty).
+func (b *Breakdown) Shares() [NumCats]float64 {
+	var out [NumCats]float64
+	t := b.Total()
+	if t == 0 {
+		return out
+	}
+	for i, v := range b {
+		out[i] = float64(v) / float64(t)
+	}
+	return out
+}
+
+// String renders the breakdown as "busy=42.0% mem=30.1% ...".
+func (b *Breakdown) String() string {
+	sh := b.Shares()
+	parts := make([]string, NumCats)
+	for i := range sh {
+		parts[i] = fmt.Sprintf("%s=%.1f%%", Category(i), sh[i]*100)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Role distinguishes the two streams of a slipstream pair.
+type Role int
+
+// Stream roles.
+const (
+	RoleR Role = iota // the true task
+	RoleA             // the advanced, speculative task
+	NumRoles
+)
+
+// String returns "R" or "A".
+func (r Role) String() string {
+	if r == RoleA {
+		return "A"
+	}
+	return "R"
+}
+
+// ReqKind splits shared-data requests the way Figures 3/5 do.
+type ReqKind int
+
+// Request kinds: a read (shared) fill or a read-exclusive fill.
+const (
+	ReqRead ReqKind = iota
+	ReqReadEx
+	NumKinds
+)
+
+// String returns the request-kind label.
+func (k ReqKind) String() string {
+	if k == ReqReadEx {
+		return "readex"
+	}
+	return "read"
+}
+
+// Outcome classifies what happened to a fill brought into the shared L2.
+//
+//	Timely — the partner stream referenced the line after the fill completed.
+//	Late   — the partner stream referenced the line while the fill was still
+//	         in flight (it stalled on the merged request).
+//	Only   — the line was evicted or invalidated (or the run ended) without
+//	         the partner ever referencing it.
+type Outcome int
+
+// Fill outcomes.
+const (
+	OutTimely Outcome = iota
+	OutLate
+	OutOnly
+	NumOutcomes
+)
+
+// String returns the outcome label.
+func (o Outcome) String() string {
+	switch o {
+	case OutTimely:
+		return "timely"
+	case OutLate:
+		return "late"
+	}
+	return "only"
+}
+
+// Class accumulates the Figure 3/5 classification: for each stream role and
+// request kind, how many L2 fills ended in each outcome.
+type Class struct {
+	Counts [NumRoles][NumKinds][NumOutcomes]uint64
+}
+
+// Add records one classified fill.
+func (c *Class) Add(r Role, k ReqKind, o Outcome) { c.Counts[r][k][o]++ }
+
+// KindTotal returns the number of fills of kind k summed over roles and
+// outcomes — the denominator for the paper's percentage breakdowns.
+func (c *Class) KindTotal(k ReqKind) uint64 {
+	var t uint64
+	for r := 0; r < int(NumRoles); r++ {
+		for o := 0; o < int(NumOutcomes); o++ {
+			t += c.Counts[r][k][o]
+		}
+	}
+	return t
+}
+
+// Share returns the fraction of kind-k fills that are (role, outcome).
+func (c *Class) Share(r Role, k ReqKind, o Outcome) float64 {
+	t := c.KindTotal(k)
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Counts[r][k][o]) / float64(t)
+}
+
+// AddAll merges another classification into this one.
+func (c *Class) AddAll(o *Class) {
+	for r := range c.Counts {
+		for k := range c.Counts[r] {
+			for out := range c.Counts[r][k] {
+				c.Counts[r][k][out] += o.Counts[r][k][out]
+			}
+		}
+	}
+}
+
+// String renders the classification as two lines (read and readex shares).
+func (c *Class) String() string {
+	var sb strings.Builder
+	for k := ReqRead; k < NumKinds; k++ {
+		fmt.Fprintf(&sb, "%-7s", k.String())
+		for r := RoleA; r >= RoleR; r-- {
+			for o := OutTimely; o < NumOutcomes; o++ {
+				fmt.Fprintf(&sb, " %s-%s=%5.1f%%", r, o, c.Share(r, k, o)*100)
+			}
+		}
+		if k == ReqRead {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakdownAccumulation(t *testing.T) {
+	var b Breakdown
+	b.Add(CatBusy, 60)
+	b.Add(CatMem, 30)
+	b.Add(CatBarrier, 10)
+	if b.Total() != 100 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	sh := b.Shares()
+	if sh[CatBusy] != 0.6 || sh[CatMem] != 0.3 || sh[CatBarrier] != 0.1 {
+		t.Fatalf("shares = %v", sh)
+	}
+	if sh[CatLock] != 0 || sh[CatSched] != 0 || sh[CatJobWait] != 0 {
+		t.Fatalf("unused categories nonzero: %v", sh)
+	}
+}
+
+func TestBreakdownEmptyShares(t *testing.T) {
+	var b Breakdown
+	sh := b.Shares()
+	for _, v := range sh {
+		if v != 0 {
+			t.Fatalf("empty shares = %v", sh)
+		}
+	}
+}
+
+func TestBreakdownAddAll(t *testing.T) {
+	var a, b Breakdown
+	a.Add(CatBusy, 10)
+	b.Add(CatBusy, 5)
+	b.Add(CatLock, 7)
+	a.AddAll(&b)
+	if a[CatBusy] != 15 || a[CatLock] != 7 {
+		t.Fatalf("merged = %v", a)
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	names := []string{"busy", "mem", "lock", "barrier", "sched", "jobwait"}
+	for i, want := range names {
+		if Category(i).String() != want {
+			t.Fatalf("cat %d = %q, want %q", i, Category(i), want)
+		}
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b Breakdown
+	b.Add(CatBusy, 1)
+	s := b.String()
+	if !strings.Contains(s, "busy=100.0%") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestClassSharesSumToOnePerKind(t *testing.T) {
+	var c Class
+	c.Add(RoleA, ReqRead, OutTimely)
+	c.Add(RoleA, ReqRead, OutLate)
+	c.Add(RoleR, ReqRead, OutTimely)
+	c.Add(RoleR, ReqRead, OutOnly)
+	c.Add(RoleA, ReqReadEx, OutTimely)
+	sum := 0.0
+	for r := RoleR; r < NumRoles; r++ {
+		for o := OutTimely; o < NumOutcomes; o++ {
+			sum += c.Share(r, ReqRead, o)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("read shares sum = %v", sum)
+	}
+	if c.KindTotal(ReqRead) != 4 || c.KindTotal(ReqReadEx) != 1 {
+		t.Fatalf("kind totals = %d, %d", c.KindTotal(ReqRead), c.KindTotal(ReqReadEx))
+	}
+}
+
+func TestClassShareEmptyKind(t *testing.T) {
+	var c Class
+	if c.Share(RoleA, ReqRead, OutTimely) != 0 {
+		t.Fatal("empty class share nonzero")
+	}
+}
+
+func TestClassAddAll(t *testing.T) {
+	var a, b Class
+	a.Add(RoleA, ReqRead, OutTimely)
+	b.Add(RoleA, ReqRead, OutTimely)
+	b.Add(RoleR, ReqReadEx, OutOnly)
+	a.AddAll(&b)
+	if a.Counts[RoleA][ReqRead][OutTimely] != 2 {
+		t.Fatal("merge lost counts")
+	}
+	if a.Counts[RoleR][ReqReadEx][OutOnly] != 1 {
+		t.Fatal("merge lost readex counts")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if RoleA.String() != "A" || RoleR.String() != "R" {
+		t.Fatal("role strings")
+	}
+	if ReqRead.String() != "read" || ReqReadEx.String() != "readex" {
+		t.Fatal("kind strings")
+	}
+	if OutTimely.String() != "timely" || OutLate.String() != "late" || OutOnly.String() != "only" {
+		t.Fatal("outcome strings")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	var c Class
+	c.Add(RoleA, ReqRead, OutTimely)
+	s := c.String()
+	if !strings.Contains(s, "A-timely") || !strings.Contains(s, "read") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestPropertySharesSumToOne(t *testing.T) {
+	f := func(vals [NumCats]uint16) bool {
+		var b Breakdown
+		total := uint64(0)
+		for i, v := range vals {
+			b.Add(Category(i), uint64(v))
+			total += uint64(v)
+		}
+		if total == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, s := range b.Shares() {
+			sum += s
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

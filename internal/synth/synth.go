@@ -1,0 +1,316 @@
+// Package synth provides parameterized synthetic workloads that isolate
+// the memory-system behaviours the NPB kernels mix together: streaming
+// sweeps, neighbour exchange, irregular gathers, producer–consumer
+// migration, lock-centric updates, and imbalanced task farms. They are
+// used to characterize where slipstream execution pays off (and where it
+// does not), to stress-test the runtime, and as building blocks for
+// examples.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+// Workload is a constructed synthetic program with a verifier.
+type Workload struct {
+	Name    string
+	Desc    string
+	Program func(*omp.Thread)
+	Verify  func() error
+}
+
+// Params size a synthetic workload.
+type Params struct {
+	Elems int // shared elements touched per iteration
+	Iters int // outer iterations (parallel regions)
+	Work  int // compute cycles charged per element
+}
+
+// DefaultParams returns a size suitable for quick studies.
+func DefaultParams() Params { return Params{Elems: 16 * 1024, Iters: 4, Work: 4} }
+
+// lcg is a tiny deterministic generator for gather patterns.
+type lcg struct{ s uint64 }
+
+func (g *lcg) next() uint64 {
+	g.s = g.s*6364136223846793005 + 1442695040888963407
+	return g.s
+}
+
+// Builders returns all synthetic workload constructors by name.
+func Builders() map[string]func(*omp.Runtime, Params) *Workload {
+	return map[string]func(*omp.Runtime, Params) *Workload{
+		"stream":   Stream,
+		"exchange": Exchange,
+		"gather":   Gather,
+		"migrate":  Migrate,
+		"lockstep": LockStep,
+		"taskfarm": TaskFarm,
+	}
+}
+
+// Names lists the workloads in presentation order.
+func Names() []string {
+	return []string{"stream", "exchange", "gather", "migrate", "lockstep", "taskfarm"}
+}
+
+// Build constructs the named workload.
+func Build(name string, rt *omp.Runtime, p Params) (*Workload, error) {
+	b, ok := Builders()[name]
+	if !ok {
+		return nil, fmt.Errorf("synth: unknown workload %q", name)
+	}
+	return b(rt, p), nil
+}
+
+// Stream is a pure streaming sweep: each thread reads and writes only its
+// own block. Communication is limited to cold fills, so added parallelism
+// (double mode) should beat slipstream here.
+func Stream(rt *omp.Runtime, p Params) *Workload {
+	a := rt.NewF64(p.Elems)
+	iters := p.Iters
+	return &Workload{
+		Name: "stream",
+		Desc: "private-block streaming sweep (no steady-state communication)",
+		Program: func(m *omp.Thread) {
+			for it := 0; it < iters; it++ {
+				m.Parallel(func(t *omp.Thread) {
+					t.For(0, p.Elems, func(i int) {
+						t.StF(a, i, t.LdF(a, i)+1)
+						t.Compute(uint64(p.Work))
+					})
+				})
+			}
+		},
+		Verify: func() error {
+			for i := 0; i < p.Elems; i++ {
+				if a.Get(i) != float64(iters) {
+					return fmt.Errorf("stream: a[%d] = %v, want %d", i, a.Get(i), iters)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Exchange is a 1-D neighbour exchange (ghost-cell pattern): block
+// boundaries migrate between CMPs every iteration.
+func Exchange(rt *omp.Runtime, p Params) *Workload {
+	a := rt.NewF64(p.Elems)
+	b := rt.NewF64(p.Elems)
+	for i := 0; i < p.Elems; i++ {
+		a.Set(i, float64(i%7))
+	}
+	iters := p.Iters
+	return &Workload{
+		Name: "exchange",
+		Desc: "1-D neighbour exchange (boundary migration each sweep)",
+		Program: func(m *omp.Thread) {
+			for it := 0; it < iters; it++ {
+				src, dst := a, b
+				if it%2 == 1 {
+					src, dst = b, a
+				}
+				m.Parallel(func(t *omp.Thread) {
+					t.For(1, p.Elems-1, func(i int) {
+						v := (t.LdF(src, i-1) + t.LdF(src, i) + t.LdF(src, i+1)) / 3
+						t.StF(dst, i, v)
+						t.Compute(uint64(p.Work))
+					})
+				})
+			}
+		},
+		Verify: func() error {
+			// Replay serially.
+			sa := make([]float64, p.Elems)
+			sb := make([]float64, p.Elems)
+			for i := range sa {
+				sa[i] = float64(i % 7)
+			}
+			for it := 0; it < iters; it++ {
+				src, dst := sa, sb
+				if it%2 == 1 {
+					src, dst = sb, sa
+				}
+				for i := 1; i < p.Elems-1; i++ {
+					dst[i] = (src[i-1] + src[i] + src[i+1]) / 3
+				}
+			}
+			got := a.Data()
+			want := sa
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("exchange: a[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Gather is an irregular read pattern: every thread reads pseudo-random
+// locations across the whole array (CG's sparse matrix-vector shape).
+func Gather(rt *omp.Runtime, p Params) *Workload {
+	a := rt.NewF64(p.Elems)
+	out := rt.NewF64(p.Elems)
+	idx := rt.NewI64(p.Elems * 4)
+	g := lcg{s: 11}
+	for i := 0; i < p.Elems*4; i++ {
+		idx.Set(i, int64(g.next()%uint64(p.Elems)))
+	}
+	for i := 0; i < p.Elems; i++ {
+		a.Set(i, float64(i))
+	}
+	iters := p.Iters
+	return &Workload{
+		Name: "gather",
+		Desc: "irregular whole-array gather (sparse matvec shape)",
+		Program: func(m *omp.Thread) {
+			for it := 0; it < iters; it++ {
+				m.Parallel(func(t *omp.Thread) {
+					t.For(0, p.Elems, func(i int) {
+						s := 0.0
+						for k := 0; k < 4; k++ {
+							c := int(t.LdI(idx, i*4+k))
+							s += t.LdF(a, c)
+							t.Compute(uint64(p.Work))
+						}
+						t.StF(out, i, s)
+					})
+				})
+			}
+		},
+		Verify: func() error {
+			for i := 0; i < p.Elems; i++ {
+				s := 0.0
+				for k := 0; k < 4; k++ {
+					s += a.Get(int(idx.Get(i*4 + k)))
+				}
+				if out.Get(i) != s {
+					return fmt.Errorf("gather: out[%d] = %v, want %v", i, out.Get(i), s)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Migrate is a producer–consumer pattern: every iteration each thread
+// writes a block and then reads the block the previous thread wrote, so
+// every line takes a dirty 3-hop trip per iteration.
+func Migrate(rt *omp.Runtime, p Params) *Workload {
+	a := rt.NewF64(p.Elems)
+	iters := p.Iters
+	return &Workload{
+		Name: "migrate",
+		Desc: "producer-consumer block rotation (3-hop migration per sweep)",
+		Program: func(m *omp.Thread) {
+			for it := 0; it < iters; it++ {
+				m.Parallel(func(t *omp.Thread) {
+					nth := t.Num()
+					blk := p.Elems / nth
+					// Produce own block.
+					t.For(0, p.Elems, func(i int) {
+						t.StF(a, i, t.LdF(a, i)+1)
+						t.Compute(uint64(p.Work))
+					})
+					// Consume the next thread's block.
+					me := t.ID()
+					lo := ((me + 1) % nth) * blk
+					s := 0.0
+					for i := lo; i < lo+blk; i++ {
+						s += t.LdF(a, i)
+						t.Compute(1)
+					}
+					_ = s
+					t.Barrier()
+				})
+			}
+		},
+		Verify: func() error {
+			for i := 0; i < p.Elems; i++ {
+				if a.Get(i) != float64(iters) {
+					return fmt.Errorf("migrate: a[%d] = %v, want %d", i, a.Get(i), iters)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// LockStep hammers a handful of lock-protected counters (reduction/
+// critical-section shape).
+func LockStep(rt *omp.Runtime, p Params) *Workload {
+	const cells = 4
+	acc := rt.NewF64(cells)
+	iters := p.Iters
+	updates := p.Elems / 256
+	if updates < 8 {
+		updates = 8
+	}
+	return &Workload{
+		Name: "lockstep",
+		Desc: "critical-section-dominated shared counters",
+		Program: func(m *omp.Thread) {
+			for it := 0; it < iters; it++ {
+				m.Parallel(func(t *omp.Thread) {
+					for u := 0; u < updates; u++ {
+						cell := u % cells
+						t.Critical(func() {
+							t.StF(acc, cell, t.LdF(acc, cell)+1)
+						})
+						t.Compute(uint64(p.Work))
+					}
+					t.Barrier()
+				})
+			}
+		},
+		Verify: func() error {
+			want := float64(iters * updates * rt.NumThreads() / cells)
+			for c := 0; c < cells; c++ {
+				if acc.Get(c) != want {
+					return fmt.Errorf("lockstep: acc[%d] = %v, want %v", c, acc.Get(c), want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// TaskFarm is an imbalanced task loop (cost ramps 1x..6x) suited to
+// dynamic scheduling.
+func TaskFarm(rt *omp.Runtime, p Params) *Workload {
+	tasks := p.Elems / 64
+	if tasks < 16 {
+		tasks = 16
+	}
+	out := rt.NewF64(tasks)
+	iters := p.Iters
+	return &Workload{
+		Name: "taskfarm",
+		Desc: "imbalanced task farm (1x-6x cost ramp)",
+		Program: func(m *omp.Thread) {
+			for it := 0; it < iters; it++ {
+				m.Parallel(func(t *omp.Thread) {
+					t.For(0, tasks, func(task int) {
+						reps := 1 + 6*task/tasks
+						for r := 0; r < reps; r++ {
+							t.Compute(uint64(20 * p.Work))
+						}
+						t.StF(out, task, float64(reps))
+					})
+				})
+			}
+		},
+		Verify: func() error {
+			for task := 0; task < tasks; task++ {
+				if out.Get(task) != float64(1+6*task/tasks) {
+					return fmt.Errorf("taskfarm: out[%d] = %v", task, out.Get(task))
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/omp"
+)
+
+func rtFor(t *testing.T, mode core.Mode) *omp.Runtime {
+	t.Helper()
+	p := machine.DefaultParams()
+	p.Nodes = 4
+	rt, err := omp.New(omp.Config{Machine: p, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestNamesMatchBuilders(t *testing.T) {
+	bs := Builders()
+	if len(Names()) != len(bs) {
+		t.Fatalf("names %d vs builders %d", len(Names()), len(bs))
+	}
+	for _, n := range Names() {
+		if bs[n] == nil {
+			t.Fatalf("missing builder %q", n)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	rt := rtFor(t, core.ModeSingle)
+	if _, err := Build("nope", rt, DefaultParams()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestAllWorkloadsVerifyAcrossModes(t *testing.T) {
+	p := Params{Elems: 2048, Iters: 2, Work: 3}
+	for _, name := range Names() {
+		for _, mode := range []core.Mode{core.ModeSingle, core.ModeDouble, core.ModeSlipstream} {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				rt := rtFor(t, mode)
+				w, err := Build(name, rt, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := rt.Run(w.Program); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Verify(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestWorkloadsVerifyUnderL1AndDynamic(t *testing.T) {
+	p := Params{Elems: 2048, Iters: 2, Work: 3}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			pm := machine.DefaultParams()
+			pm.Nodes = 4
+			rt, err := omp.New(omp.Config{Machine: pm, Mode: core.ModeSlipstream,
+				Slipstream: core.L1, Sched: omp.Dynamic, Chunk: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := Build(name, rt, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Run(w.Program); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDescriptionsPresent(t *testing.T) {
+	rt := rtFor(t, core.ModeSingle)
+	for _, name := range Names() {
+		w, _ := Build(name, rt, Params{Elems: 256, Iters: 1, Work: 1})
+		if w.Desc == "" || w.Name != name {
+			t.Fatalf("workload %q metadata incomplete", name)
+		}
+	}
+}

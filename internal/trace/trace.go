@@ -1,0 +1,133 @@
+// Package trace provides a bounded ring buffer of simulation events for
+// debugging and analysis. Tracing is off by default; when enabled the
+// machine records memory-system events (accesses, fills, invalidations,
+// writebacks) that can be dumped as text after a run.
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind labels a traced event.
+type Kind uint8
+
+// Event kinds.
+const (
+	Load Kind = iota
+	Store
+	Prefetch
+	Fill
+	Inval
+	Writeback
+	numKinds
+)
+
+// String returns the kind mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Prefetch:
+		return "prefetch"
+	case Fill:
+		return "fill"
+	case Inval:
+		return "inval"
+	case Writeback:
+		return "wb"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   uint64 // simulation time (cycles)
+	Proc int    // acting processor (or node for node-level events)
+	Kind Kind
+	Line uint64 // cache line number
+	Arg  int64  // kind-specific: latency for accesses, home for fills
+}
+
+// Buffer is a fixed-capacity event ring. The zero value is a disabled
+// buffer that drops all events.
+type Buffer struct {
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// New returns a buffer retaining the last capacity events.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		return &Buffer{}
+	}
+	return &Buffer{ring: make([]Event, 0, capacity)}
+}
+
+// Enabled reports whether events are being retained.
+func (b *Buffer) Enabled() bool { return b != nil && cap(b.ring) > 0 }
+
+// Add records an event (dropping the oldest if full).
+func (b *Buffer) Add(e Event) {
+	if !b.Enabled() {
+		return
+	}
+	b.total++
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+		return
+	}
+	b.ring[b.next] = e
+	b.next = (b.next + 1) % cap(b.ring)
+}
+
+// Total returns the number of events ever recorded (including dropped).
+func (b *Buffer) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.total
+}
+
+// Events returns the retained events, oldest first.
+func (b *Buffer) Events() []Event {
+	if !b.Enabled() {
+		return nil
+	}
+	out := make([]Event, 0, len(b.ring))
+	if len(b.ring) == cap(b.ring) {
+		out = append(out, b.ring[b.next:]...)
+		out = append(out, b.ring[:b.next]...)
+	} else {
+		out = append(out, b.ring...)
+	}
+	return out
+}
+
+// Dump writes the retained events as text, one per line.
+func (b *Buffer) Dump(w io.Writer) error {
+	evs := b.Events()
+	if _, err := fmt.Fprintf(w, "trace: %d events retained of %d recorded\n", len(evs), b.Total()); err != nil {
+		return err
+	}
+	for _, e := range evs {
+		if _, err := fmt.Fprintf(w, "%12d p%-3d %-8s line=%#08x arg=%d\n", e.At, e.Proc, e.Kind, e.Line, e.Arg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Filter returns the retained events of the given kind, oldest first.
+func (b *Buffer) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}

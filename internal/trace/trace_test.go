@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueDisabled(t *testing.T) {
+	var b Buffer
+	if b.Enabled() {
+		t.Fatal("zero buffer enabled")
+	}
+	b.Add(Event{At: 1})
+	if b.Total() != 0 || len(b.Events()) != 0 {
+		t.Fatal("disabled buffer retained events")
+	}
+}
+
+func TestNilSafe(t *testing.T) {
+	var b *Buffer
+	if b.Enabled() || b.Total() != 0 {
+		t.Fatal("nil buffer not safe")
+	}
+}
+
+func TestNewZeroCapacityDisabled(t *testing.T) {
+	if New(0).Enabled() || New(-5).Enabled() {
+		t.Fatal("non-positive capacity enabled tracing")
+	}
+}
+
+func TestAddAndOrder(t *testing.T) {
+	b := New(10)
+	for i := 0; i < 5; i++ {
+		b.Add(Event{At: uint64(i), Kind: Load})
+	}
+	evs := b.Events()
+	if len(evs) != 5 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != uint64(i) {
+			t.Fatalf("order broken: %v", evs)
+		}
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 10; i++ {
+		b.Add(Event{At: uint64(i)})
+	}
+	evs := b.Events()
+	if len(evs) != 4 || b.Total() != 10 {
+		t.Fatalf("retained %d, total %d", len(evs), b.Total())
+	}
+	for i, e := range evs {
+		if e.At != uint64(6+i) {
+			t.Fatalf("wrap kept wrong events: %v", evs)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := New(8)
+	b.Add(Event{Kind: Load})
+	b.Add(Event{Kind: Fill})
+	b.Add(Event{Kind: Load})
+	if got := len(b.Filter(Load)); got != 2 {
+		t.Fatalf("filter loads = %d", got)
+	}
+	if got := len(b.Filter(Writeback)); got != 0 {
+		t.Fatalf("filter wb = %d", got)
+	}
+}
+
+func TestDump(t *testing.T) {
+	b := New(4)
+	b.Add(Event{At: 42, Proc: 3, Kind: Inval, Line: 0x10})
+	var sb strings.Builder
+	if err := b.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"42", "p3", "inval", "1 events retained"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	names := []string{"load", "store", "prefetch", "fill", "inval", "wb"}
+	for i, want := range names {
+		if Kind(i).String() != want {
+			t.Fatalf("kind %d = %q", i, Kind(i))
+		}
+	}
+}
+
+// Property: for any capacity and event count, Events() returns
+// min(count, capacity) events and they are the most recent ones in order.
+func TestPropertyRingRetention(t *testing.T) {
+	f := func(capRaw, nRaw uint8) bool {
+		capacity := int(capRaw%32) + 1
+		n := int(nRaw % 200)
+		b := New(capacity)
+		for i := 0; i < n; i++ {
+			b.Add(Event{At: uint64(i)})
+		}
+		evs := b.Events()
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i, e := range evs {
+			if e.At != uint64(n-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestAllChecksPassOnDefaults(t *testing.T) {
+	p := machine.DefaultParams()
+	p.Nodes = 8 // keep the checkup quick
+	rs := All(p)
+	if len(rs) < 10 {
+		t.Fatalf("only %d checks ran", len(rs))
+	}
+	for _, r := range rs {
+		if !r.Pass {
+			t.Errorf("check %q failed: %s", r.Name, r.Detail)
+		}
+	}
+	if !Passed(rs) {
+		t.Fatal("Passed() disagrees")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	rs := []Result{
+		{Name: "a", Pass: true, Detail: "fine"},
+		{Name: "b", Pass: false, Detail: "broken"},
+	}
+	out := Report(rs)
+	if !strings.Contains(out, "ok   a") || !strings.Contains(out, "FAIL b") {
+		t.Fatalf("report = %q", out)
+	}
+	if Passed(rs) {
+		t.Fatal("Passed with a failing result")
+	}
+}
+
+func TestChecksDetectBrokenModel(t *testing.T) {
+	// With dirty forwarding costing nothing, the 3-hop check must fail —
+	// the checkup is not vacuously true.
+	p := machine.DefaultParams()
+	p.Nodes = 4
+	p.DirtyForwardNS = 0
+	r := CheckThreeHopDearer(p)
+	if r.Pass {
+		t.Fatalf("3-hop check passed on a degenerate model: %s", r.Detail)
+	}
+}
