@@ -1,0 +1,29 @@
+# Build / verification entry points. `make verify` is the full gate the
+# suite-robustness work relies on: tier-1 build+test, vet, and a race pass
+# over the worker-pool packages.
+
+GO ?= go
+
+.PHONY: build test test-short vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# The experiment runner, pool, and validate checkup fan work out across
+# goroutines; keep them race-clean.
+race:
+	$(GO) test -race ./internal/experiments/... ./internal/pool/... ./internal/validate/...
+
+verify: build test vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -152,6 +152,30 @@ func BenchmarkFig5CG(b *testing.B) { benchFig5(b, "CG") }
 func BenchmarkFig5MG(b *testing.B) { benchFig5(b, "MG") }
 func BenchmarkFig5SP(b *testing.B) { benchFig5(b, "SP") }
 
+// ---- Suite throughput: the worker-pool runner --------------------------------
+
+// benchStaticSuite runs the whole static matrix (5 kernels × 4 configs)
+// through the experiments runner at a fixed worker count, so the
+// sequential-vs-parallel wall-clock contrast shows up directly in ns/op.
+func benchStaticSuite(b *testing.B, jobs int) {
+	o := experiments.DefaultOptions()
+	o.Nodes = benchNodes
+	o.Scale = npb.ScaleTest
+	o.Jobs = jobs
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.RunStatic(o, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteStaticSequential(b *testing.B) { benchStaticSuite(b, 1) }
+func BenchmarkSuiteStaticParallel(b *testing.B)   { benchStaticSuite(b, 0) } // 0 = one worker per CPU
+
 // ---- Ablations (DESIGN.md design-choice benches) -----------------------------
 
 // Token-count sweep: how far ahead the A-stream may run (local sync).

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +46,7 @@ func main() {
 		csvPath    = flag.String("csv", "", "also write experiment results to a CSV file")
 		jsonOut    = flag.Bool("json", false, "print a JSON snapshot after a single run")
 		topology   = flag.String("topology", "fixed", "interconnect: fixed|mesh")
+		jobs       = flag.Int("jobs", 0, "max concurrent simulation runs (0 = one per CPU, 1 = sequential)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -58,6 +60,7 @@ func main() {
 	opts.Scale = sc
 	opts.SelfInvalidate = *selfinv
 	opts.Verify = *verify
+	opts.Jobs = *jobs
 	if *kernels != "" {
 		opts.Kernels = strings.Split(*kernels, ",")
 	}
@@ -171,6 +174,24 @@ func runExperiment(name string, opts experiments.Options, csvPath string, quiet 
 		static.Fig3(out)
 		dynamic.Fig4(out)
 		dynamic.Fig5(out)
+	}
+	// Failed cells don't abort the suite — the surviving cells rendered
+	// above — but they must not pass silently either: name each one and
+	// exit non-zero.
+	var failed []experiments.CellError
+	if static != nil {
+		failed = append(failed, static.Errors...)
+	}
+	if dynamic != nil {
+		failed = append(failed, dynamic.Errors...)
+	}
+	if len(failed) > 0 {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d run(s) failed:", len(failed))
+		for _, e := range failed {
+			fmt.Fprintf(&sb, "\n  %s", e.Error())
+		}
+		return errors.New(sb.String())
 	}
 	return nil
 }

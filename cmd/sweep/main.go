@@ -33,6 +33,7 @@ func main() {
 		at     = flag.Int("at", 16, "node count for -study tokens")
 		scale  = flag.String("scale", "small", "problem scale: test|small|paper")
 		verify = flag.Bool("verify", true, "verify against serial references")
+		jobs   = flag.Int("jobs", 0, "max concurrent simulation runs (0 = one per CPU, 1 = sequential)")
 		quiet  = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -52,7 +53,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rows, err := experiments.RunScaling(strings.ToUpper(*kernel), counts, sc, *verify, progress)
+		rows, err := experiments.RunScaling(strings.ToUpper(*kernel), counts, sc, *jobs, *verify, progress)
 		if err != nil {
 			fatal(err)
 		}
@@ -62,13 +63,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rows, err := experiments.RunTokenSweep(strings.ToUpper(*kernel), *at, sc, counts, *verify, progress)
+		rows, err := experiments.RunTokenSweep(strings.ToUpper(*kernel), *at, sc, counts, *jobs, *verify, progress)
 		if err != nil {
 			fatal(err)
 		}
 		experiments.PrintTokenSweep(strings.ToUpper(*kernel), rows, os.Stdout)
 	case "characterize":
-		rows, err := experiments.Characterize(*at, synth.DefaultParams(), progress)
+		rows, err := experiments.Characterize(*at, synth.DefaultParams(), *jobs, progress)
 		if err != nil {
 			fatal(err)
 		}
@@ -95,13 +96,25 @@ func parseScale(s string) (npb.Scale, error) {
 	return 0, fmt.Errorf("unknown scale %q", s)
 }
 
+// parseInts parses a comma-separated count list, distinguishing the three
+// rejection cases (not a number, below the study's minimum, duplicate) so
+// the user learns which value is wrong and why.
 func parseInts(s string, min int) ([]int, error) {
 	var out []int
+	seen := map[int]bool{}
 	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < min {
-			return nil, fmt.Errorf("bad count %q", part)
+		p := strings.TrimSpace(part)
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("count %q is not a number", p)
 		}
+		if n < min {
+			return nil, fmt.Errorf("count %d is below the minimum %d", n, min)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("duplicate count %d", n)
+		}
+		seen[n] = true
 		out = append(out, n)
 	}
 	return out, nil

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseIntsValid(t *testing.T) {
+	got, err := parseInts(" 2, 4 ,8,16", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{2, 4, 8, 16}) {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+func TestParseIntsRejections(t *testing.T) {
+	cases := []struct {
+		in   string
+		min  int
+		want string // distinguishing fragment of the error
+	}{
+		{"2,x,8", 1, "not a number"},
+		{"2,,8", 1, "not a number"},
+		{"2,0,8", 1, "below the minimum"},
+		{"-1", 0, "below the minimum"},
+		{"2,4,2", 1, "duplicate count 2"},
+	}
+	for _, c := range cases {
+		_, err := parseInts(c.in, c.min)
+		if err == nil {
+			t.Fatalf("parseInts(%q, %d) accepted", c.in, c.min)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("parseInts(%q, %d) = %v, want error mentioning %q", c.in, c.min, err, c.want)
+		}
+	}
+}

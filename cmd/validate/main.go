@@ -22,6 +22,7 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 16, "number of dual-processor CMP nodes")
 	mesh := flag.Bool("mesh", false, "validate under the 2-D mesh topology")
+	jobs := flag.Int("jobs", 0, "max concurrent checks (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	p := machine.DefaultParams()
@@ -30,7 +31,7 @@ func main() {
 		p.Topology = machine.TopoMesh2D
 	}
 	fmt.Printf("model checkup: %d CMPs, %s interconnect\n", p.Nodes, p.Topology)
-	rs := validate.All(p)
+	rs := validate.AllParallel(p, *jobs)
 	fmt.Print(validate.Report(rs))
 	if !validate.Passed(rs) {
 		os.Exit(1)

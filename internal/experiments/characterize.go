@@ -21,44 +21,79 @@ type CharRow struct {
 // scheduling configurations and reports which execution mode wins — the
 // workload-type → best-mode map that frames where slipstream pays off
 // (communication-bound patterns) and where it does not (embarrassingly
-// parallel streaming, where double mode's extra parallelism wins).
-func Characterize(nodes int, p synth.Params, progress io.Writer) ([]CharRow, error) {
+// parallel streaming, where double mode's extra parallelism wins). The
+// (workload × config) cells run on up to jobs workers (0 = one per host
+// CPU); rows come back in synth.Names order with the winner resolved by
+// the fixed config order, so output is identical at any concurrency.
+// Failed cells are dropped from their row and aggregated into the
+// returned error.
+func Characterize(nodes int, p synth.Params, jobs int, progress io.Writer) ([]CharRow, error) {
 	mp := machine.DefaultParams()
 	mp.Nodes = nodes
+	names := synth.Names()
+	cfgs := staticConfigs(mp, false)
+	type cell struct {
+		workload string
+		rc       runConfig
+	}
+	var cells []cell
+	for _, name := range names {
+		for _, rc := range cfgs {
+			cells = append(cells, cell{workload: name, rc: rc})
+		}
+	}
+	type outcome struct {
+		wall uint64
+		desc string
+	}
+	pw := newProgress(progress)
+	outs, errs := collect(jobs, len(cells), func(i int) (outcome, error) {
+		c := cells[i]
+		pw.printf("characterize %s/%s...\n", c.workload, c.rc.name)
+		rt, err := omp.New(c.rc.cfg)
+		if err != nil {
+			return outcome{}, err
+		}
+		w, err := synth.Build(c.workload, rt, p)
+		if err != nil {
+			return outcome{}, err
+		}
+		if err := rt.Run(w.Program); err != nil {
+			return outcome{}, fmt.Errorf("%s/%s: %w", c.workload, c.rc.name, err)
+		}
+		if err := w.Verify(); err != nil {
+			return outcome{}, fmt.Errorf("%s/%s: %w", c.workload, c.rc.name, err)
+		}
+		return outcome{wall: rt.M.WallTime(), desc: w.Desc}, nil
+	})
 	var rows []CharRow
-	for _, name := range synth.Names() {
+	var cellErrs []CellError
+	i := 0
+	for _, name := range names {
 		row := CharRow{Workload: name, Walls: map[string]uint64{}}
-		for _, rc := range staticConfigs(mp, false) {
-			if progress != nil {
-				fmt.Fprintf(progress, "characterize %s/%s...\n", name, rc.name)
+		for _, rc := range cfgs {
+			if errs[i] != nil {
+				cellErrs = append(cellErrs, CellError{Kernel: name, Config: rc.name, Err: errs[i]})
+			} else {
+				row.Desc = outs[i].desc
+				row.Walls[rc.name] = outs[i].wall
 			}
-			rt, err := omp.New(rc.cfg)
-			if err != nil {
-				return nil, err
-			}
-			w, err := synth.Build(name, rt, p)
-			if err != nil {
-				return nil, err
-			}
-			if err := rt.Run(w.Program); err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, rc.name, err)
-			}
-			if err := w.Verify(); err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, rc.name, err)
-			}
-			row.Desc = w.Desc
-			row.Walls[rc.name] = rt.M.WallTime()
+			i++
 		}
-		best := ""
-		for cfgName, wall := range row.Walls {
-			if best == "" || wall < row.Walls[best] {
-				best = cfgName
+		// Resolve the winner in config order (not map order) so ties
+		// break the same way on every run.
+		for _, rc := range cfgs {
+			wall, ok := row.Walls[rc.name]
+			if !ok {
+				continue
+			}
+			if row.Winner == "" || wall < row.Walls[row.Winner] {
+				row.Winner = rc.name
 			}
 		}
-		row.Winner = best
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, joinCellErrors(cellErrs)
 }
 
 // PrintCharacterization renders the workload → mode map.

@@ -25,6 +25,7 @@ type Options struct {
 	Kernels        []string  // subset filter; empty = all
 	SelfInvalidate bool      // enable the self-invalidation optimization
 	Verify         bool      // check results against serial references
+	Jobs           int       // max concurrent runs: 0 = one per host CPU, 1 = sequential
 	Params         *machine.Params
 }
 
@@ -44,14 +45,24 @@ func (o Options) params() machine.Params {
 	return p
 }
 
-func (o Options) kernels() []npb.Kernel {
+func (o Options) kernels() ([]npb.Kernel, error) {
 	all := npb.Kernels()
 	if len(o.Kernels) == 0 {
-		return all
+		return all, nil
+	}
+	valid := map[string]bool{}
+	var names []string
+	for _, k := range all {
+		valid[k.Name] = true
+		names = append(names, k.Name)
 	}
 	want := map[string]bool{}
 	for _, n := range o.Kernels {
-		want[strings.ToUpper(n)] = true
+		name := strings.ToUpper(strings.TrimSpace(n))
+		if !valid[name] {
+			return nil, fmt.Errorf("unknown kernel %q (valid: %s)", n, strings.Join(names, ", "))
+		}
+		want[name] = true
 	}
 	var out []npb.Kernel
 	for _, k := range all {
@@ -59,7 +70,7 @@ func (o Options) kernels() []npb.Kernel {
 			out = append(out, k)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Result is one simulator run's measurements.
@@ -125,54 +136,84 @@ func RunOne(k npb.Kernel, name string, cfg omp.Config, scale npb.Scale, verify b
 	}, nil
 }
 
-// Suite holds the results of the static and dynamic run matrices.
+// Suite holds the results of the static and dynamic run matrices. Cells
+// that failed to run or verify are absent from the result maps and
+// recorded in Errors with their kernel/config identity.
 type Suite struct {
 	Opts    Options
 	Static  map[string]map[string]Result // kernel → config → result
 	Dynamic map[string]map[string]Result
+	Errors  []CellError // failed cells, in matrix order
 }
 
-// RunStatic executes the static-scheduling matrix (Figures 2 and 3).
+// Err returns the suite's per-cell failures joined into one error, or nil
+// if every run succeeded.
+func (s *Suite) Err() error {
+	if s == nil {
+		return nil
+	}
+	return joinCellErrors(s.Errors)
+}
+
+// RunStatic executes the static-scheduling matrix (Figures 2 and 3) on up
+// to o.Jobs concurrent workers. A failing cell does not abort the matrix:
+// it is recorded in Suite.Errors and the other cells complete. The
+// returned error is non-nil only for configuration problems (e.g. an
+// unknown kernel name).
 func RunStatic(o Options, progress io.Writer) (*Suite, error) {
+	ks, err := o.kernels()
+	if err != nil {
+		return nil, err
+	}
 	s := &Suite{Opts: o, Static: map[string]map[string]Result{}}
 	p := o.params()
-	for _, k := range o.kernels() {
+	var cells []matrixCell
+	for _, k := range ks {
 		s.Static[k.Name] = map[string]Result{}
 		for _, rc := range staticConfigs(p, o.SelfInvalidate) {
-			if progress != nil {
-				fmt.Fprintf(progress, "running %s/%s (static)...\n", k.Name, rc.name)
-			}
-			r, err := RunOne(k, rc.name, rc.cfg, o.Scale, o.Verify)
-			if err != nil {
-				return nil, err
-			}
-			s.Static[k.Name][rc.name] = r
+			cells = append(cells, matrixCell{kernel: k, rc: rc})
 		}
+	}
+	results, errs := runCells(cells, o.Jobs, o, "static", progress)
+	for i, c := range cells {
+		if errs[i] != nil {
+			s.Errors = append(s.Errors, CellError{Kernel: c.kernel.Name, Config: c.rc.name, Err: errs[i]})
+			continue
+		}
+		s.Static[c.kernel.Name][c.rc.name] = results[i]
 	}
 	return s, nil
 }
 
-// RunDynamic executes the dynamic-scheduling matrix (Figures 4 and 5).
-// LU is excluded: it specifies static scheduling programmatically (§5.2).
+// RunDynamic executes the dynamic-scheduling matrix (Figures 4 and 5) on
+// up to o.Jobs concurrent workers, with the same per-cell error handling
+// as RunStatic. LU is excluded: it specifies static scheduling
+// programmatically (§5.2).
 func RunDynamic(o Options, progress io.Writer) (*Suite, error) {
+	ks, err := o.kernels()
+	if err != nil {
+		return nil, err
+	}
 	s := &Suite{Opts: o, Dynamic: map[string]map[string]Result{}}
 	p := o.params()
-	for _, k := range o.kernels() {
+	var cells []matrixCell
+	for _, k := range ks {
 		if !k.Dynamic {
 			continue
 		}
 		chunk := k.ChunkFor(o.Scale, p.Nodes)
 		s.Dynamic[k.Name] = map[string]Result{}
 		for _, rc := range dynamicConfigs(p, chunk) {
-			if progress != nil {
-				fmt.Fprintf(progress, "running %s/%s (dynamic)...\n", k.Name, rc.name)
-			}
-			r, err := RunOne(k, rc.name, rc.cfg, o.Scale, o.Verify)
-			if err != nil {
-				return nil, err
-			}
-			s.Dynamic[k.Name][rc.name] = r
+			cells = append(cells, matrixCell{kernel: k, rc: rc})
 		}
+	}
+	results, errs := runCells(cells, o.Jobs, o, "dynamic", progress)
+	for i, c := range cells {
+		if errs[i] != nil {
+			s.Errors = append(s.Errors, CellError{Kernel: c.kernel.Name, Config: c.rc.name, Err: errs[i]})
+			continue
+		}
+		s.Dynamic[c.kernel.Name][c.rc.name] = results[i]
 	}
 	return s, nil
 }
@@ -188,23 +229,35 @@ func sortedKernels(m map[string]map[string]Result) []string {
 }
 
 // Fig2 renders the static-scheduling speedups (normalized to single mode)
-// and execution-time breakdowns — the paper's Figure 2.
+// and execution-time breakdowns — the paper's Figure 2. Kernels whose
+// single-mode baseline is missing (filtered out or failed) render their
+// cycle counts with "n/a" speedups and an explanatory note instead of
+// dividing by a zero-value cell.
 func (s *Suite) Fig2(w io.Writer) {
 	fmt.Fprintln(w, "Figure 2: slipstream and double-mode performance over single mode (static scheduling)")
 	fmt.Fprintf(w, "%-4s %-9s %10s %8s  %s\n", "app", "config", "cycles", "speedup", "time breakdown")
 	for _, name := range sortedKernels(s.Static) {
 		rs := s.Static[name]
-		base := rs["single"].Wall
+		base, haveBase := rs["single"]
 		for _, cfg := range []string{"single", "double", "slip-G0", "slip-L1"} {
 			r, ok := rs[cfg]
 			if !ok {
 				continue
 			}
-			fmt.Fprintf(w, "%-4s %-9s %10d %8.3f  %s\n",
-				name, cfg, r.Wall, float64(base)/float64(r.Wall), r.Breakdown.String())
+			if haveBase && base.Wall > 0 && r.Wall > 0 {
+				fmt.Fprintf(w, "%-4s %-9s %10d %8.3f  %s\n",
+					name, cfg, r.Wall, float64(base.Wall)/float64(r.Wall), r.Breakdown.String())
+			} else {
+				fmt.Fprintf(w, "%-4s %-9s %10d %8s  %s\n",
+					name, cfg, r.Wall, "n/a", r.Breakdown.String())
+			}
 		}
 		best := minWall(rs, "slip-G0", "slip-L1")
 		bestBase := minWall(rs, "single", "double")
+		if !haveBase || best == noWall || bestBase == noWall {
+			fmt.Fprintf(w, "%-4s note: baseline missing (filtered or failed run); speedups n/a\n\n", name)
+			continue
+		}
 		fmt.Fprintf(w, "%-4s best slipstream vs best(single,double): %+.1f%%\n\n",
 			name, 100*(float64(bestBase)/float64(best)-1))
 	}
@@ -233,14 +286,22 @@ func (s *Suite) Fig4(w io.Writer) {
 	fmt.Fprintf(w, "%-4s %-12s %10s %8s  %s\n", "app", "config", "cycles", "speedup", "time breakdown")
 	for _, name := range sortedKernels(s.Dynamic) {
 		rs := s.Dynamic[name]
-		base := rs["single-dyn"].Wall
+		base, haveBase := rs["single-dyn"]
 		for _, cfg := range []string{"single-dyn", "slip-G0-dyn"} {
 			r, ok := rs[cfg]
 			if !ok {
 				continue
 			}
-			fmt.Fprintf(w, "%-4s %-12s %10d %8.3f  %s\n",
-				name, cfg, r.Wall, float64(base)/float64(r.Wall), r.Breakdown.String())
+			if haveBase && base.Wall > 0 && r.Wall > 0 {
+				fmt.Fprintf(w, "%-4s %-12s %10d %8.3f  %s\n",
+					name, cfg, r.Wall, float64(base.Wall)/float64(r.Wall), r.Breakdown.String())
+			} else {
+				fmt.Fprintf(w, "%-4s %-12s %10d %8s  %s\n",
+					name, cfg, r.Wall, "n/a", r.Breakdown.String())
+			}
+		}
+		if !haveBase {
+			fmt.Fprintf(w, "%-4s note: single-dyn baseline missing (filtered or failed run); speedups n/a\n", name)
 		}
 	}
 	fmt.Fprintln(w)
@@ -283,9 +344,13 @@ func Table1(o Options, w io.Writer) {
 // Table2 renders the benchmark list with the instantiated problem sizes.
 func Table2(o Options, w io.Writer) error {
 	fmt.Fprintln(w, "Table 2: benchmarks (OpenMP-style ports of NPB 2.3 kernels, reduced sizes)")
+	ks, err := o.kernels()
+	if err != nil {
+		return err
+	}
 	p := o.params()
 	p.Nodes = 2 // tiny machine: only the instance metadata is needed
-	for _, k := range o.kernels() {
+	for _, k := range ks {
 		rt, err := omp.New(omp.Config{Machine: p, Mode: core.ModeSingle})
 		if err != nil {
 			return err
@@ -300,9 +365,13 @@ func Table2(o Options, w io.Writer) error {
 	return nil
 }
 
-// minWall returns the smallest wall time among the named configs.
+// noWall is minWall's sentinel for "no named config present".
+const noWall = ^uint64(0)
+
+// minWall returns the smallest wall time among the named configs, or
+// noWall if none of them is present.
 func minWall(rs map[string]Result, names ...string) uint64 {
-	best := ^uint64(0)
+	best := noWall
 	for _, n := range names {
 		if r, ok := rs[n]; ok && r.Wall < best {
 			best = r.Wall

@@ -100,10 +100,33 @@ func TestDynamicExcludesLU(t *testing.T) {
 
 func TestKernelFilter(t *testing.T) {
 	o := quickOpts()
-	o.Kernels = []string{"mg"}
-	ks := o.kernels()
-	if len(ks) != 1 || ks[0].Name != "MG" {
+	o.Kernels = []string{"mg", " cg "} // case-insensitive, whitespace-tolerant
+	ks, err := o.kernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 2 || ks[0].Name != "CG" || ks[1].Name != "MG" {
 		t.Fatalf("filter resolved %v", ks)
+	}
+}
+
+func TestKernelFilterUnknown(t *testing.T) {
+	o := quickOpts()
+	o.Kernels = []string{"GM"}
+	if _, err := o.kernels(); err == nil {
+		t.Fatal("unknown kernel accepted")
+	} else if !strings.Contains(err.Error(), `"GM"`) || !strings.Contains(err.Error(), "BT, CG, LU, MG, SP") {
+		t.Fatalf("error does not name the kernel and the valid set: %v", err)
+	}
+	if _, err := RunStatic(o, nil); err == nil {
+		t.Fatal("RunStatic accepted unknown kernel")
+	}
+	if _, err := RunDynamic(o, nil); err == nil {
+		t.Fatal("RunDynamic accepted unknown kernel")
+	}
+	var sb strings.Builder
+	if err := Table2(o, &sb); err == nil {
+		t.Fatal("Table2 accepted unknown kernel")
 	}
 }
 

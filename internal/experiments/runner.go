@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/npb"
+	"repro/internal/pool"
+)
+
+// This file is the suite runner: every experiment entry point fans its
+// independent RunOne calls out over a bounded worker pool and collects the
+// results back in matrix order, so figure and table output is byte-for-byte
+// identical to a sequential run no matter which worker finishes first.
+// Failures are aggregated per cell instead of aborting the whole matrix:
+// a cell that fails to build, run, or verify leaves a CellError carrying
+// its kernel/config identity, and the surviving cells still render.
+
+// CellError records one failed cell of a run matrix with enough identity
+// to re-run it in isolation.
+type CellError struct {
+	Kernel string // kernel or workload name
+	Config string // configuration name, possibly annotated with the node count
+	Err    error
+}
+
+func (e CellError) Error() string { return fmt.Sprintf("%s/%s: %v", e.Kernel, e.Config, e.Err) }
+
+func (e CellError) Unwrap() error { return e.Err }
+
+// joinCellErrors flattens per-cell failures into one error, nil if none.
+func joinCellErrors(errs []CellError) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	joined := make([]error, len(errs))
+	for i, e := range errs {
+		joined[i] = e
+	}
+	return errors.Join(joined...)
+}
+
+// progressWriter serializes progress lines from concurrent workers so
+// interleaved runs never tear each other's lines. A nil *progressWriter
+// (from a nil underlying writer, i.e. -q) discards everything.
+type progressWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newProgress(w io.Writer) *progressWriter {
+	if w == nil {
+		return nil
+	}
+	return &progressWriter{w: w}
+}
+
+func (p *progressWriter) printf(format string, args ...any) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, format, args...)
+}
+
+// collect runs run(i) for every i in [0, n) on up to jobs workers and
+// returns values and errors slot-per-index: callers reassemble results in
+// matrix order regardless of completion order.
+func collect[T any](jobs, n int, run func(int) (T, error)) ([]T, []error) {
+	vals := make([]T, n)
+	errs := make([]error, n)
+	pool.ForEach(jobs, n, func(i int) { vals[i], errs[i] = run(i) })
+	return vals, errs
+}
+
+// matrixCell is one (kernel, config) coordinate of a run matrix.
+type matrixCell struct {
+	kernel npb.Kernel
+	rc     runConfig
+}
+
+// runCells executes the cells on the pool and returns results and errors
+// aligned to the cell index: results[i] is valid iff errs[i] is nil. label
+// annotates progress lines ("static"/"dynamic").
+func runCells(cells []matrixCell, jobs int, o Options, label string, progress io.Writer) ([]Result, []error) {
+	pw := newProgress(progress)
+	return collect(jobs, len(cells), func(i int) (Result, error) {
+		c := cells[i]
+		pw.printf("running %s/%s (%s)...\n", c.kernel.Name, c.rc.name, label)
+		return RunOne(c.kernel, c.rc.name, c.rc.cfg, o.Scale, o.Verify)
+	})
+}

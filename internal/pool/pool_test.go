@@ -1,0 +1,65 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJobsNormalization(t *testing.T) {
+	if got := Jobs(0); got != runtime.NumCPU() {
+		t.Fatalf("Jobs(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Jobs(-3); got != runtime.NumCPU() {
+		t.Fatalf("Jobs(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Jobs(5); got != 5 {
+		t.Fatalf("Jobs(5) = %d", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 100} {
+		const n = 37
+		counts := make([]int64, n)
+		ForEach(jobs, n, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}
+
+func TestForEachZeroN(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran with n = 0")
+	}
+}
+
+// TestForEachSlotIsolation is the contract the experiment runner relies
+// on: concurrent workers writing only their own slots need no further
+// synchronization. Run under -race this fails if ForEach ever lets two
+// workers share a slot or returns before all workers finish.
+func TestForEachSlotIsolation(t *testing.T) {
+	const n = 64
+	vals := make([]int, n)
+	ForEach(8, n, func(i int) { vals[i] = i * i })
+	for i, v := range vals {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/omp"
+	"repro/internal/pool"
 	"repro/internal/shmem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -24,9 +25,14 @@ type Result struct {
 	Detail string
 }
 
-// All runs every check against the given parameters (typically
-// machine.DefaultParams, possibly with a different node count).
-func All(p machine.Params) []Result {
+// All runs every check sequentially against the given parameters
+// (typically machine.DefaultParams, possibly with a different node count).
+func All(p machine.Params) []Result { return AllParallel(p, 1) }
+
+// AllParallel runs the checks on up to jobs workers (0 = one per host
+// CPU). Every check builds its own machines, so they are independent;
+// results keep the canonical check order regardless of completion order.
+func AllParallel(p machine.Params, jobs int) []Result {
 	checks := []func(machine.Params) Result{
 		CheckL1Hit,
 		CheckL2Hit,
@@ -41,10 +47,8 @@ func All(p machine.Params) []Result {
 		CheckTokenBalance,
 		CheckCoherenceSweep,
 	}
-	out := make([]Result, 0, len(checks))
-	for _, c := range checks {
-		out = append(out, c(p))
-	}
+	out := make([]Result, len(checks))
+	pool.ForEach(jobs, len(checks), func(i int) { out[i] = checks[i](p) })
 	return out
 }
 

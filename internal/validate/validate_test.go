@@ -24,6 +24,23 @@ func TestAllChecksPassOnDefaults(t *testing.T) {
 	}
 }
 
+// TestAllParallelMatchesSequential: the checkup must report the same
+// results in the same canonical order however many workers run it.
+func TestAllParallelMatchesSequential(t *testing.T) {
+	p := machine.DefaultParams()
+	p.Nodes = 4
+	seq := All(p)
+	par := AllParallel(p, 8)
+	if len(seq) != len(par) {
+		t.Fatalf("check counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("check %d differs: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}
+
 func TestReportFormat(t *testing.T) {
 	rs := []Result{
 		{Name: "a", Pass: true, Detail: "fine"},
