@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race verify bench
+.PHONY: build test test-short vet race verify bench smoke
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,23 @@ test-short:
 vet:
 	$(GO) vet ./...
 
-# The experiment runner, pool, and validate checkup fan work out across
-# goroutines; keep them race-clean.
+# The experiment runner, pool, validate checkup, and slipd server fan work
+# out across goroutines; keep them race-clean. -short skips only the
+# paper-scale shape tests (simulation numbers, no extra concurrency), so
+# every racy path is still exercised and the instrumented run stays
+# within the go test timeout.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/pool/... ./internal/validate/...
+	$(GO) test -race -short ./internal/experiments/... ./internal/pool/... ./internal/validate/... ./internal/server/...
 
 verify: build test vet race
 
+# One iteration per benchmark keeps this quick; the JSON lands in
+# BENCH_PR2.json for diffable tracking across PRs.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . | $(GO) run ./tools/benchjson -o BENCH_PR2.json
+
+# End-to-end: boot a real slipd, drive one job over HTTP, SIGTERM it.
+smoke:
+	mkdir -p bin
+	$(GO) build -o bin/slipd ./cmd/slipd
+	$(GO) run ./tools/smoke bin/slipd

@@ -1,0 +1,91 @@
+// Command slipd serves the slipstream simulator over HTTP: submit jobs
+// with POST /jobs, poll GET /jobs/{id}, stream progress from
+// /jobs/{id}/events, fetch rendered tables from /jobs/{id}/result, and
+// scrape /metrics. Identical submissions coalesce onto one run and
+// completed results are served from a content-addressed cache — the
+// simulator is deterministic, so equal specs have equal results.
+//
+// SIGINT/SIGTERM drains gracefully: in-flight and queued jobs finish
+// (up to -drain), then the process exits 0. See docs/api.md.
+//
+// Examples:
+//
+//	slipd -addr :8080 -workers 2
+//	curl -s localhost:8080/jobs -d '{"kind":"run","kernel":"CG"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 2, "concurrent jobs")
+		suiteJobs  = flag.Int("suite-jobs", 0, "per-job matrix concurrency (0 = one per CPU)")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (<=0 disables)")
+		queueDepth = flag.Int("queue-depth", 256, "max queued jobs before POST /jobs sheds load")
+		drain      = flag.Duration("drain", 5*time.Minute, "graceful-shutdown deadline for in-flight jobs")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *suiteJobs, *cacheBytes, *queueDepth, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "slipd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, suiteJobs int, cacheBytes int64, queueDepth int, drain time.Duration) error {
+	srv := server.New(server.Config{
+		CacheBytes: cacheBytes,
+		Workers:    workers,
+		SuiteJobs:  suiteJobs,
+		QueueDepth: queueDepth,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	fmt.Fprintf(os.Stderr, "slipd: listening on %s (%d workers, %d MiB cache)\n",
+		addr, workers, cacheBytes>>20)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	fmt.Fprintf(os.Stderr, "slipd: draining (deadline %s)\n", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Stop the listener first so no new jobs arrive mid-drain, then let
+	// the job queue empty. A clean drain exits 0; a blown deadline
+	// cancels the remaining work and reports it.
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		srv.Shutdown(drainCtx)
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "slipd: drained cleanly")
+	return nil
+}

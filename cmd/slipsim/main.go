@@ -51,7 +51,7 @@ func main() {
 	)
 	flag.Parse()
 
-	sc, err := parseScale(*scale)
+	sc, err := npb.ParseScale(*scale)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,18 +87,6 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "slipsim:", err)
 	os.Exit(1)
-}
-
-func parseScale(s string) (npb.Scale, error) {
-	switch strings.ToLower(s) {
-	case "test":
-		return npb.ScaleTest, nil
-	case "small":
-		return npb.ScaleSmall, nil
-	case "paper":
-		return npb.ScalePaper, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q", s)
 }
 
 func runExperiment(name string, opts experiments.Options, csvPath string, quiet bool) error {
@@ -213,35 +201,14 @@ func runSingle(kernel, mode, sync string, tokens int, env, sched string, chunk, 
 	}
 
 	cfg := omp.Config{Machine: p, Env: env, SelfInvalidate: opts.SelfInvalidate}
-	switch strings.ToLower(mode) {
-	case "single":
-		cfg.Mode = core.ModeSingle
-	case "double":
-		cfg.Mode = core.ModeDouble
-	case "slipstream":
-		cfg.Mode = core.ModeSlipstream
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
+	if cfg.Mode, err = experiments.ParseMode(mode); err != nil {
+		return err
 	}
-	switch strings.ToUpper(sync) {
-	case "GLOBAL_SYNC":
-		cfg.Slipstream = core.Config{Type: core.GlobalSync, Tokens: tokens}
-	case "LOCAL_SYNC":
-		cfg.Slipstream = core.Config{Type: core.LocalSync, Tokens: tokens}
-	case "NONE":
-		cfg.Slipstream = core.Config{Type: core.NoneSync}
-	default:
-		return fmt.Errorf("unknown sync %q", sync)
+	if cfg.Slipstream, err = experiments.ParseSync(sync, tokens); err != nil {
+		return err
 	}
-	switch strings.ToLower(sched) {
-	case "static":
-		cfg.Sched = omp.Static
-	case "dynamic":
-		cfg.Sched = omp.Dynamic
-	case "guided":
-		cfg.Sched = omp.Guided
-	default:
-		return fmt.Errorf("unknown schedule %q", sched)
+	if cfg.Sched, err = experiments.ParseSched(sched); err != nil {
+		return err
 	}
 	cfg.Chunk = chunk
 	if chunk == 0 && cfg.Sched != omp.Static {
@@ -304,35 +271,15 @@ func runWorkload(name, mode, sync string, tokens int, sched string, chunk int, o
 	p := machine.DefaultParams()
 	p.Nodes = opts.Nodes
 	cfg := omp.Config{Machine: p, Chunk: chunk}
-	switch strings.ToLower(mode) {
-	case "single":
-		cfg.Mode = core.ModeSingle
-	case "double":
-		cfg.Mode = core.ModeDouble
-	case "slipstream":
-		cfg.Mode = core.ModeSlipstream
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
+	var err error
+	if cfg.Mode, err = experiments.ParseMode(mode); err != nil {
+		return err
 	}
-	switch strings.ToUpper(sync) {
-	case "GLOBAL_SYNC":
-		cfg.Slipstream = core.Config{Type: core.GlobalSync, Tokens: tokens}
-	case "LOCAL_SYNC":
-		cfg.Slipstream = core.Config{Type: core.LocalSync, Tokens: tokens}
-	case "NONE":
-		cfg.Slipstream = core.Config{Type: core.NoneSync}
-	default:
-		return fmt.Errorf("unknown sync %q", sync)
+	if cfg.Slipstream, err = experiments.ParseSync(sync, tokens); err != nil {
+		return err
 	}
-	switch strings.ToLower(sched) {
-	case "static":
-		cfg.Sched = omp.Static
-	case "dynamic":
-		cfg.Sched = omp.Dynamic
-	case "guided":
-		cfg.Sched = omp.Guided
-	default:
-		return fmt.Errorf("unknown schedule %q", sched)
+	if cfg.Sched, err = experiments.ParseSched(sched); err != nil {
+		return err
 	}
 	rt, err := omp.New(cfg)
 	if err != nil {

@@ -38,7 +38,7 @@ func main() {
 	)
 	flag.Parse()
 
-	sc, err := parseScale(*scale)
+	sc, err := npb.ParseScale(*scale)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,18 +82,6 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
-}
-
-func parseScale(s string) (npb.Scale, error) {
-	switch strings.ToLower(s) {
-	case "test":
-		return npb.ScaleTest, nil
-	case "small":
-		return npb.ScaleSmall, nil
-	case "paper":
-		return npb.ScalePaper, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q", s)
 }
 
 // parseInts parses a comma-separated count list, distinguishing the three

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/npb"
+)
+
+// Canonical encoding of Options. This is the single source of truth for
+// the slipd result-cache key: two Options that describe the same suite
+// must encode to the same bytes, whatever path produced them (CLI flags,
+// an HTTP job spec, Go code). Canonicalization therefore applies defaults
+// (zero Nodes → the paper's 16, nil Params → DefaultParams with the node
+// override applied), normalizes the kernel filter (trimmed, uppercased,
+// sorted, deduplicated), and drops Jobs entirely — concurrency changes
+// wall-clock time, never results, so it must not fragment the cache.
+
+// canonOptions is the frozen wire shape (alphabetical field order).
+type canonOptions struct {
+	Kernels        []string        `json:"kernels"`
+	Nodes          int             `json:"nodes"`
+	Params         json.RawMessage `json:"params"`
+	Scale          string          `json:"scale"`
+	SelfInvalidate bool            `json:"self_invalidate"`
+	Verify         bool            `json:"verify"`
+}
+
+// Canonical returns a normalized copy of o with defaults applied: the
+// resolved machine.Params is pinned into Params, Nodes mirrors the
+// resolved node count, the kernel filter is normalized, and Jobs is
+// cleared. Canonical is idempotent: o.Canonical().Canonical() == o.Canonical().
+func (o Options) Canonical() Options {
+	p := o.params()
+	o.Params = &p
+	o.Nodes = p.Nodes
+	o.Jobs = 0
+	o.Kernels = normalizeKernels(o.Kernels)
+	return o
+}
+
+// normalizeKernels trims, uppercases, sorts and deduplicates a kernel
+// filter. An empty filter stays nil ("all kernels").
+func normalizeKernels(ks []string) []string {
+	if len(ks) == 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, k := range ks {
+		name := strings.ToUpper(strings.TrimSpace(k))
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanonicalJSON renders o.Canonical() in the canonical encoding.
+func (o Options) CanonicalJSON() ([]byte, error) {
+	c := o.Canonical()
+	pj, err := c.Params.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	kernels := c.Kernels
+	if kernels == nil {
+		kernels = []string{} // encode as [], not null
+	}
+	return json.Marshal(canonOptions{
+		Kernels:        kernels,
+		Nodes:          c.Nodes,
+		Params:         pj,
+		Scale:          c.Scale.String(),
+		SelfInvalidate: c.SelfInvalidate,
+		Verify:         c.Verify,
+	})
+}
+
+// OptionsFromCanonicalJSON decodes a canonical encoding. The result is
+// already canonical: decode(encode(o)) == o.Canonical().
+func OptionsFromCanonicalJSON(data []byte) (Options, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c canonOptions
+	if err := dec.Decode(&c); err != nil {
+		return Options{}, fmt.Errorf("experiments: canonical options: %w", err)
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return Options{}, fmt.Errorf("experiments: canonical options: trailing data")
+	}
+	scale, err := npb.ParseScale(c.Scale)
+	if err != nil {
+		return Options{}, err
+	}
+	p, err := machine.ParamsFromCanonicalJSON(c.Params)
+	if err != nil {
+		return Options{}, err
+	}
+	o := Options{
+		Nodes:          c.Nodes,
+		Scale:          scale,
+		Kernels:        normalizeKernels(c.Kernels),
+		SelfInvalidate: c.SelfInvalidate,
+		Verify:         c.Verify,
+		Params:         &p,
+	}
+	return o, nil
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/npb"
+)
+
+// TestOptionsCanonicalRoundTrip: decode(encode(o)) must equal o.Canonical()
+// (Jobs excepted — it is dropped by design).
+func TestOptionsCanonicalRoundTrip(t *testing.T) {
+	o := Options{
+		Nodes:          8,
+		Scale:          npb.ScaleSmall,
+		Kernels:        []string{" cg", "bt", "CG"},
+		SelfInvalidate: true,
+		Verify:         true,
+		Jobs:           7,
+	}
+	data, err := o.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OptionsFromCanonicalJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := o.Canonical()
+	if *got.Params != *want.Params {
+		t.Fatalf("params mismatch:\n got %+v\nwant %+v", *got.Params, *want.Params)
+	}
+	got.Params, want.Params = nil, nil
+	if got.Nodes != want.Nodes || got.Scale != want.Scale ||
+		got.SelfInvalidate != want.SelfInvalidate || got.Verify != want.Verify {
+		t.Fatalf("scalar mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.Kernels) != 2 || got.Kernels[0] != "BT" || got.Kernels[1] != "CG" {
+		t.Fatalf("kernels = %v, want [BT CG]", got.Kernels)
+	}
+}
+
+// TestOptionsCanonicalEquivalence: different spellings of the same suite
+// must hash identically, and settings that change results must not.
+func TestOptionsCanonicalEquivalence(t *testing.T) {
+	hash := func(o Options) string {
+		t.Helper()
+		data, err := o.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(data)
+		return hex.EncodeToString(sum[:])
+	}
+	base := DefaultOptions()
+
+	spelled := DefaultOptions()
+	spelled.Kernels = nil
+	spelled.Jobs = 13 // concurrency must not fragment the cache
+	if hash(base) != hash(spelled) {
+		t.Fatal("Jobs changed the canonical hash")
+	}
+
+	reordered := DefaultOptions()
+	reordered.Kernels = []string{"mg", " CG "}
+	ordered := DefaultOptions()
+	ordered.Kernels = []string{"CG", "MG"}
+	if hash(reordered) != hash(ordered) {
+		t.Fatal("kernel filter spelling changed the canonical hash")
+	}
+
+	explicit := DefaultOptions()
+	p := machine.DefaultParams()
+	explicit.Params = &p
+	if hash(base) != hash(explicit) {
+		t.Fatal("explicit default Params hashed differently from nil Params")
+	}
+
+	other := DefaultOptions()
+	other.Nodes = 8
+	if hash(base) == hash(other) {
+		t.Fatal("node count did not change the canonical hash")
+	}
+	noVerify := DefaultOptions()
+	noVerify.Verify = false
+	if hash(base) == hash(noVerify) {
+		t.Fatal("Verify did not change the canonical hash")
+	}
+}
+
+// TestOptionsCanonicalStable pins the encoding of the default options so
+// accidental reordering or renaming shows up as a test failure with the
+// same bump-the-cache-key instruction as the machine.Params golden.
+func TestOptionsCanonicalStable(t *testing.T) {
+	a, err := DefaultOptions().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultOptions().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encoding not deterministic:\n%s\n%s", a, b)
+	}
+	sum := sha256.Sum256(a)
+	const golden = "5d0ed8b46968a7abbd83b837645cf12b8147a7dbc73a51a9b161690d52837bd9"
+	if got := hex.EncodeToString(sum[:]); got != golden {
+		t.Fatalf("canonical hash changed: %s (encoding: %s)\nupdate the golden and bump the slipd cache-key version", got, a)
+	}
+}
+
+// TestOptionsCanonicalIdempotent: canonicalizing twice is a no-op.
+func TestOptionsCanonicalIdempotent(t *testing.T) {
+	o := Options{Kernels: []string{"sp", "bt"}, Scale: npb.ScalePaper, Verify: true}
+	once := o.Canonical()
+	twice := once.Canonical()
+	aj, err := once.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := twice.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("Canonical not idempotent:\n%s\n%s", aj, bj)
+	}
+}

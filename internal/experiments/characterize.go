@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,6 +29,12 @@ type CharRow struct {
 // Failed cells are dropped from their row and aggregated into the
 // returned error.
 func Characterize(nodes int, p synth.Params, jobs int, progress io.Writer) ([]CharRow, error) {
+	return CharacterizeCtx(context.Background(), nodes, p, jobs, progress)
+}
+
+// CharacterizeCtx is Characterize with cancellation, with the same
+// partial-result semantics as the other Ctx runners.
+func CharacterizeCtx(ctx context.Context, nodes int, p synth.Params, jobs int, progress io.Writer) ([]CharRow, error) {
 	mp := machine.DefaultParams()
 	mp.Nodes = nodes
 	names := synth.Names()
@@ -47,7 +54,7 @@ func Characterize(nodes int, p synth.Params, jobs int, progress io.Writer) ([]Ch
 		desc string
 	}
 	pw := newProgress(progress)
-	outs, errs := collect(jobs, len(cells), func(i int) (outcome, error) {
+	outs, errs := collect(ctx, jobs, len(cells), func(i int) (outcome, error) {
 		c := cells[i]
 		pw.printf("characterize %s/%s...\n", c.workload, c.rc.name)
 		rt, err := omp.New(c.rc.cfg)

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// csvSuite builds a hand-crafted suite with out-of-order map insertion so
+// the tests exercise WriteCSV's ordering logic, not map iteration luck.
+func csvSuite() *Suite {
+	return &Suite{
+		Static: map[string]map[string]Result{
+			"MG": {
+				"slip-G0": {Kernel: "MG", Config: "slip-G0", Size: "64^3", Wall: 90},
+				"single":  {Kernel: "MG", Config: "single", Size: "64^3", Wall: 120},
+			},
+			"CG": {
+				"double": {Kernel: "CG", Config: "double", Size: "n=1400", Wall: 80},
+				"single": {Kernel: "CG", Config: "single", Size: "n=1400", Wall: 100},
+			},
+		},
+		Dynamic: map[string]map[string]Result{
+			"CG": {
+				"slip-G0-dyn": {Kernel: "CG", Config: "slip-G0-dyn", Size: "n=1400", Wall: 70},
+				"single-dyn":  {Kernel: "CG", Config: "single-dyn", Size: "n=1400", Wall: 95},
+			},
+		},
+	}
+}
+
+// TestWriteCSVHeaderShape pins the header: identification columns, one
+// column per time-breakdown category, the A/R × read/readex × outcome
+// classification shares, and the trailing recovery count.
+func TestWriteCSVHeaderShape(t *testing.T) {
+	var sb strings.Builder
+	if err := csvSuite().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	for i, want := range []string{"kernel", "config", "size", "cycles"} {
+		if header[i] != want {
+			t.Fatalf("header[%d] = %q, want %q", i, header[i], want)
+		}
+	}
+	if header[len(header)-1] != "recoveries" {
+		t.Fatalf("last header column = %q, want recoveries", header[len(header)-1])
+	}
+	wantCols := 4 + int(stats.NumCats-stats.CatBusy) + 2*2*int(stats.NumOutcomes-stats.OutTimely) + 1
+	if len(header) != wantCols {
+		t.Fatalf("header has %d columns, want %d: %v", len(header), wantCols, header)
+	}
+	// Every data row must match the header width (encoding/csv enforces
+	// this on read, so reaching here with >1 row proves the shape).
+	if len(rows) != 1+6 {
+		t.Fatalf("rows = %d, want header + 6 results", len(rows))
+	}
+}
+
+// TestWriteCSVDeterministicRowOrder: kernels alphabetical, configs in the
+// fixed report order, static block before dynamic — independent of map
+// insertion order, byte-identical across calls.
+func TestWriteCSVDeterministicRowOrder(t *testing.T) {
+	var a, b strings.Builder
+	if err := csvSuite().WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := csvSuite().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two encodings differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	rows, err := csv.NewReader(strings.NewReader(a.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, r := range rows[1:] {
+		order = append(order, r[0]+"/"+r[1])
+	}
+	want := []string{
+		"CG/single", "CG/double",
+		"MG/single", "MG/slip-G0",
+		"CG/single-dyn", "CG/slip-G0-dyn",
+	}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("row order = %v, want %v", order, want)
+	}
+}
+
+// TestWriteCSVMissingBaseline: a suite whose single-mode baseline cell
+// failed (absent from the result map) still emits the surviving rows —
+// the CSV layer must not invent or require a baseline.
+func TestWriteCSVMissingBaseline(t *testing.T) {
+	s := &Suite{Static: map[string]map[string]Result{
+		"CG": {"slip-G0": {Kernel: "CG", Config: "slip-G0", Size: "n=1400", Wall: 90}},
+	}}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want header + 1 surviving cell", len(rows))
+	}
+	if rows[1][0] != "CG" || rows[1][1] != "slip-G0" {
+		t.Fatalf("surviving row = %v", rows[1])
+	}
+}
+
+// TestWriteCSVUnknownConfigAppended: configs outside the fixed report
+// order (e.g. a token-sweep name) still land in the output, after the
+// known ones, in a stable position.
+func TestWriteCSVUnknownConfigAppended(t *testing.T) {
+	s := &Suite{Static: map[string]map[string]Result{
+		"CG": {
+			"zz-custom": {Kernel: "CG", Config: "zz-custom", Wall: 50},
+			"single":    {Kernel: "CG", Config: "single", Wall: 100},
+		},
+	}}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[1][1] != "single" || rows[2][1] != "zz-custom" {
+		t.Fatalf("unexpected rows: %v", rows)
+	}
+}
+
+// TestWriteCSVEmptySuite: header only, no error.
+func TestWriteCSVEmptySuite(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Suite{}).WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want header only", len(rows))
+	}
+}

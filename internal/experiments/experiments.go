@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -161,6 +162,13 @@ func (s *Suite) Err() error {
 // returned error is non-nil only for configuration problems (e.g. an
 // unknown kernel name).
 func RunStatic(o Options, progress io.Writer) (*Suite, error) {
+	return RunStaticCtx(context.Background(), o, progress)
+}
+
+// RunStaticCtx is RunStatic with cancellation: once ctx is done the
+// remaining cells are aborted promptly and recorded in Suite.Errors with
+// the context's error, so callers get the partial matrix that did run.
+func RunStaticCtx(ctx context.Context, o Options, progress io.Writer) (*Suite, error) {
 	ks, err := o.kernels()
 	if err != nil {
 		return nil, err
@@ -174,7 +182,7 @@ func RunStatic(o Options, progress io.Writer) (*Suite, error) {
 			cells = append(cells, matrixCell{kernel: k, rc: rc})
 		}
 	}
-	results, errs := runCells(cells, o.Jobs, o, "static", progress)
+	results, errs := runCells(ctx, cells, o.Jobs, o, "static", progress)
 	for i, c := range cells {
 		if errs[i] != nil {
 			s.Errors = append(s.Errors, CellError{Kernel: c.kernel.Name, Config: c.rc.name, Err: errs[i]})
@@ -190,6 +198,12 @@ func RunStatic(o Options, progress io.Writer) (*Suite, error) {
 // as RunStatic. LU is excluded: it specifies static scheduling
 // programmatically (§5.2).
 func RunDynamic(o Options, progress io.Writer) (*Suite, error) {
+	return RunDynamicCtx(context.Background(), o, progress)
+}
+
+// RunDynamicCtx is RunDynamic with cancellation, with the same partial-
+// result semantics as RunStaticCtx.
+func RunDynamicCtx(ctx context.Context, o Options, progress io.Writer) (*Suite, error) {
 	ks, err := o.kernels()
 	if err != nil {
 		return nil, err
@@ -207,7 +221,7 @@ func RunDynamic(o Options, progress io.Writer) (*Suite, error) {
 			cells = append(cells, matrixCell{kernel: k, rc: rc})
 		}
 	}
-	results, errs := runCells(cells, o.Jobs, o, "dynamic", progress)
+	results, errs := runCells(ctx, cells, o.Jobs, o, "dynamic", progress)
 	for i, c := range cells {
 		if errs[i] != nil {
 			s.Errors = append(s.Errors, CellError{Kernel: c.kernel.Name, Config: c.rc.name, Err: errs[i]})

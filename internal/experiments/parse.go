@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/omp"
+)
+
+// Shared parsers for the execution-configuration vocabulary. The slipsim
+// CLI and the slipd HTTP API both accept the same strings, and both must
+// keep accepting the same strings, so the switch statements live here
+// once instead of once per front end.
+
+// ParseMode resolves an execution-mode name (case-insensitive).
+func ParseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "single":
+		return core.ModeSingle, nil
+	case "double":
+		return core.ModeDouble, nil
+	case "slipstream":
+		return core.ModeSlipstream, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (valid: single, double, slipstream)", s)
+}
+
+// ParseSync resolves an A–R synchronization name plus initial token count
+// into a slipstream configuration (case-insensitive; tokens are ignored
+// for NONE).
+func ParseSync(s string, tokens int) (core.Config, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "GLOBAL_SYNC":
+		return core.Config{Type: core.GlobalSync, Tokens: tokens}, nil
+	case "LOCAL_SYNC":
+		return core.Config{Type: core.LocalSync, Tokens: tokens}, nil
+	case "NONE":
+		return core.Config{Type: core.NoneSync}, nil
+	}
+	return core.Config{}, fmt.Errorf("unknown sync %q (valid: GLOBAL_SYNC, LOCAL_SYNC, NONE)", s)
+}
+
+// ParseSched resolves a loop-schedule name (case-insensitive).
+func ParseSched(s string) (omp.Schedule, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "static":
+		return omp.Static, nil
+	case "dynamic":
+		return omp.Dynamic, nil
+	case "guided":
+		return omp.Guided, nil
+	}
+	return 0, fmt.Errorf("unknown schedule %q (valid: static, dynamic, guided)", s)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -68,11 +69,31 @@ func (p *progressWriter) printf(format string, args ...any) {
 
 // collect runs run(i) for every i in [0, n) on up to jobs workers and
 // returns values and errors slot-per-index: callers reassemble results in
-// matrix order regardless of completion order.
-func collect[T any](jobs, n int, run func(int) (T, error)) ([]T, []error) {
+// matrix order regardless of completion order. Cancelling ctx aborts the
+// remaining cells promptly: a cell the pool never dispatched, or that was
+// dispatched after cancellation, carries ctx's error in its slot, so every
+// index still resolves to either a value or an error and suites degrade to
+// partial results instead of hanging. An individual run is not interrupted
+// mid-simulation — cancellation is observed between cells.
+func collect[T any](ctx context.Context, jobs, n int, run func(int) (T, error)) ([]T, []error) {
 	vals := make([]T, n)
 	errs := make([]error, n)
-	pool.ForEach(jobs, n, func(i int) { vals[i], errs[i] = run(i) })
+	dispatched := make([]bool, n)
+	poolErr := pool.ForEachCtx(ctx, jobs, n, func(i int) {
+		dispatched[i] = true
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		vals[i], errs[i] = run(i)
+	})
+	if poolErr != nil {
+		for i := range errs {
+			if !dispatched[i] {
+				errs[i] = poolErr
+			}
+		}
+	}
 	return vals, errs
 }
 
@@ -85,9 +106,9 @@ type matrixCell struct {
 // runCells executes the cells on the pool and returns results and errors
 // aligned to the cell index: results[i] is valid iff errs[i] is nil. label
 // annotates progress lines ("static"/"dynamic").
-func runCells(cells []matrixCell, jobs int, o Options, label string, progress io.Writer) ([]Result, []error) {
+func runCells(ctx context.Context, cells []matrixCell, jobs int, o Options, label string, progress io.Writer) ([]Result, []error) {
 	pw := newProgress(progress)
-	return collect(jobs, len(cells), func(i int) (Result, error) {
+	return collect(ctx, jobs, len(cells), func(i int) (Result, error) {
 		c := cells[i]
 		pw.printf("running %s/%s (%s)...\n", c.kernel.Name, c.rc.name, label)
 		return RunOne(c.kernel, c.rc.name, c.rc.cfg, o.Scale, o.Verify)

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -129,7 +131,7 @@ func TestFailingCellDoesNotAbort(t *testing.T) {
 		{kernel: k, rc: runConfig{"double", omp.Config{Machine: p, Mode: core.ModeDouble}}},
 	}
 	for _, jobs := range []int{1, 4} {
-		results, errs := runCells(cells, jobs, o, "static", nil)
+		results, errs := runCells(context.Background(), cells, jobs, o, "static", nil)
 		if errs[0] != nil || errs[2] != nil {
 			t.Fatalf("jobs=%d: good cells failed: %v, %v", jobs, errs[0], errs[2])
 		}
@@ -143,6 +145,79 @@ func TestFailingCellDoesNotAbort(t *testing.T) {
 		if !strings.Contains(ce.Error(), "CG/broken") {
 			t.Fatalf("cell error lacks identity: %q", ce.Error())
 		}
+	}
+}
+
+// cancelAfterFirstWrite is a progress writer that cancels a context the
+// first time a progress line is emitted — i.e. as the first cell starts.
+type cancelAfterFirstWrite struct {
+	cancel context.CancelFunc
+	wrote  bool
+}
+
+func (c *cancelAfterFirstWrite) Write(p []byte) (int, error) {
+	if !c.wrote {
+		c.wrote = true
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+// TestCancelledSuiteReturnsPartialErrors cancels the context as the first
+// static cell starts and checks the contract the slipd job queue depends
+// on: the call returns (no hang), every cell resolves to either a result
+// or a Suite.Errors entry, and the aborted cells carry context.Canceled.
+func TestCancelledSuiteReturnsPartialErrors(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		o := quickOpts()
+		o.Kernels = []string{"CG", "MG"}
+		o.Jobs = jobs
+		ctx, cancel := context.WithCancel(context.Background())
+		s, err := RunStaticCtx(ctx, o, &cancelAfterFirstWrite{cancel: cancel})
+		cancel()
+		if err != nil {
+			t.Fatalf("jobs=%d: configuration error: %v", jobs, err)
+		}
+		if len(s.Errors) == 0 {
+			t.Fatalf("jobs=%d: cancelled suite reported no cell errors", jobs)
+		}
+		got := 0
+		for _, rs := range s.Static {
+			got += len(rs)
+		}
+		if total := 2 * 4; got+len(s.Errors) != total { // 2 kernels × 4 configs
+			t.Fatalf("jobs=%d: %d results + %d errors != %d cells", jobs, got, len(s.Errors), total)
+		}
+		for _, ce := range s.Errors {
+			if !errors.Is(ce.Err, context.Canceled) {
+				t.Fatalf("jobs=%d: cell error is not context.Canceled: %v", jobs, ce)
+			}
+			if ce.Kernel == "" || ce.Config == "" {
+				t.Fatalf("jobs=%d: cell error lacks identity: %+v", jobs, ce)
+			}
+		}
+		if err := s.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: Suite.Err() = %v", jobs, err)
+		}
+	}
+}
+
+// TestCancelledScalingReturnsPartialErrors covers the same contract for
+// the scaling study, which slipd exposes as a job kind.
+func TestCancelledScalingReturnsPartialErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := RunScalingCtx(ctx, "CG", []int{2, 4}, npb.ScaleTest, 1,
+		true, &cancelAfterFirstWrite{cancel: cancel})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	cells := 0
+	for _, r := range rows {
+		cells += len(r.Walls)
+	}
+	if cells >= 2*3 {
+		t.Fatalf("cancellation aborted nothing: %d of 6 cells ran", cells)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -40,6 +41,12 @@ func scalingConfig(name string, p machine.Params) omp.Config {
 // order regardless of completion order. Failed cells are skipped in their
 // row and aggregated into the returned error alongside the surviving rows.
 func RunScaling(kernelName string, nodeCounts []int, scale npb.Scale, jobs int, verify bool, progress io.Writer) ([]ScalingRow, error) {
+	return RunScalingCtx(context.Background(), kernelName, nodeCounts, scale, jobs, verify, progress)
+}
+
+// RunScalingCtx is RunScaling with cancellation: cells not yet started
+// when ctx is done are aborted and reported in the joined error.
+func RunScalingCtx(ctx context.Context, kernelName string, nodeCounts []int, scale npb.Scale, jobs int, verify bool, progress io.Writer) ([]ScalingRow, error) {
 	k, err := npb.ByName(kernelName)
 	if err != nil {
 		return nil, err
@@ -58,7 +65,7 @@ func RunScaling(kernelName string, nodeCounts []int, scale npb.Scale, jobs int, 
 		}
 	}
 	pw := newProgress(progress)
-	walls, errs := collect(jobs, len(cells), func(i int) (uint64, error) {
+	walls, errs := collect(ctx, jobs, len(cells), func(i int) (uint64, error) {
 		c := cells[i]
 		pw.printf("scaling %s: %d nodes, %s...\n", k.Name, c.nodes, c.name)
 		r, err := RunOne(k, c.name, c.cfg, scale, verify)
@@ -125,6 +132,12 @@ type TokenSweepRow struct {
 // come back in policy order. Failed cells are dropped from the rows and
 // aggregated into the returned error.
 func RunTokenSweep(kernelName string, nodes int, scale npb.Scale, tokenCounts []int, jobs int, verify bool, progress io.Writer) ([]TokenSweepRow, error) {
+	return RunTokenSweepCtx(context.Background(), kernelName, nodes, scale, tokenCounts, jobs, verify, progress)
+}
+
+// RunTokenSweepCtx is RunTokenSweep with cancellation, with the same
+// partial-result semantics as RunScalingCtx.
+func RunTokenSweepCtx(ctx context.Context, kernelName string, nodes int, scale npb.Scale, tokenCounts []int, jobs int, verify bool, progress io.Writer) ([]TokenSweepRow, error) {
 	k, err := npb.ByName(kernelName)
 	if err != nil {
 		return nil, err
@@ -138,7 +151,7 @@ func RunTokenSweep(kernelName string, nodes int, scale npb.Scale, tokenCounts []
 		}
 	}
 	pw := newProgress(progress)
-	walls, errs := collect(jobs, len(scs), func(i int) (uint64, error) {
+	walls, errs := collect(ctx, jobs, len(scs), func(i int) (uint64, error) {
 		sc := scs[i]
 		pw.printf("token sweep %s: %s...\n", k.Name, sc)
 		cfg := omp.Config{Machine: p, Mode: core.ModeSlipstream, Slipstream: sc}

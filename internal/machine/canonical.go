@@ -1,0 +1,142 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Canonical encoding of Params. The slipd result cache keys cached runs by
+// a hash of the full simulated-machine configuration, so the encoding must
+// be byte-stable across processes and releases: fields are emitted in a
+// fixed alphabetical order through canonParams rather than in Params
+// declaration order, and every field is explicit (no omitempty) so a
+// zero-valued field and an absent field cannot hash differently.
+
+// canonParams mirrors Params with a frozen field order and frozen JSON
+// names. Adding a Params field requires adding it here (in alphabetical
+// tag order) and updating the hash-stability test golden, which is exactly
+// the bump-the-cache-key behavior a new parameter should have.
+type canonParams struct {
+	BusNS           int     `json:"bus_ns"`
+	ClockGHz        float64 `json:"clock_ghz"`
+	DirtyForwardNS  int     `json:"dirty_forward_ns"`
+	InvalPerShNS    int     `json:"inval_per_sharer_ns"`
+	L1Assoc         int     `json:"l1_assoc"`
+	L1Bytes         int     `json:"l1_bytes"`
+	L1HitCycles     uint64  `json:"l1_hit_cycles"`
+	L2Assoc         int     `json:"l2_assoc"`
+	L2Bytes         int     `json:"l2_bytes"`
+	L2HitCycles     uint64  `json:"l2_hit_cycles"`
+	LineBytes       int     `json:"line_bytes"`
+	LocalMissNS     int     `json:"local_miss_ns"`
+	MemNS           int     `json:"mem_ns"`
+	NILocalDCNS     int     `json:"ni_local_dc_ns"`
+	NIRemoteDCNS    int     `json:"ni_remote_dc_ns"`
+	NetNS           int     `json:"net_ns"`
+	Nodes           int     `json:"nodes"`
+	PILocalDCNS     int     `json:"pi_local_dc_ns"`
+	RemoteMissNS    int     `json:"remote_miss_ns"`
+	RegAccessCycles uint64  `json:"reg_access_cycles"`
+	SpinPollCycles  uint64  `json:"spin_poll_cycles"`
+	Topology        string  `json:"topology"`
+	TraceCap        int     `json:"trace_cap"`
+	TrackClass      bool    `json:"track_class"`
+}
+
+// CanonicalJSON renders p in the canonical encoding.
+func (p Params) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(canonParams{
+		BusNS:           p.BusNS,
+		ClockGHz:        p.ClockGHz,
+		DirtyForwardNS:  p.DirtyForwardNS,
+		InvalPerShNS:    p.InvalPerShNS,
+		L1Assoc:         p.L1Assoc,
+		L1Bytes:         p.L1Bytes,
+		L1HitCycles:     uint64(p.L1HitCycles),
+		L2Assoc:         p.L2Assoc,
+		L2Bytes:         p.L2Bytes,
+		L2HitCycles:     uint64(p.L2HitCycles),
+		LineBytes:       p.LineBytes,
+		LocalMissNS:     p.LocalMissNS,
+		MemNS:           p.MemNS,
+		NILocalDCNS:     p.NILocalDCNS,
+		NIRemoteDCNS:    p.NIRemoteDCNS,
+		NetNS:           p.NetNS,
+		Nodes:           p.Nodes,
+		PILocalDCNS:     p.PILocalDCNS,
+		RemoteMissNS:    p.RemoteMissNS,
+		RegAccessCycles: uint64(p.RegAccessCycles),
+		SpinPollCycles:  uint64(p.SpinPollCycles),
+		Topology:        p.Topology.String(),
+		TraceCap:        p.TraceCap,
+		TrackClass:      p.TrackClass,
+	})
+}
+
+// ParamsFromCanonicalJSON decodes a canonical encoding back into Params.
+// Unknown fields are rejected so a spec written against a newer parameter
+// set fails loudly instead of silently simulating the wrong machine.
+func ParamsFromCanonicalJSON(data []byte) (Params, error) {
+	var c canonParams
+	if err := strictUnmarshal(data, &c); err != nil {
+		return Params{}, fmt.Errorf("machine: canonical params: %w", err)
+	}
+	topo, err := parseTopology(c.Topology)
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{
+		BusNS:           c.BusNS,
+		ClockGHz:        c.ClockGHz,
+		DirtyForwardNS:  c.DirtyForwardNS,
+		InvalPerShNS:    c.InvalPerShNS,
+		L1Assoc:         c.L1Assoc,
+		L1Bytes:         c.L1Bytes,
+		L1HitCycles:     sim.Time(c.L1HitCycles),
+		L2Assoc:         c.L2Assoc,
+		L2Bytes:         c.L2Bytes,
+		L2HitCycles:     sim.Time(c.L2HitCycles),
+		LineBytes:       c.LineBytes,
+		LocalMissNS:     c.LocalMissNS,
+		MemNS:           c.MemNS,
+		NILocalDCNS:     c.NILocalDCNS,
+		NIRemoteDCNS:    c.NIRemoteDCNS,
+		NetNS:           c.NetNS,
+		Nodes:           c.Nodes,
+		PILocalDCNS:     c.PILocalDCNS,
+		RemoteMissNS:    c.RemoteMissNS,
+		RegAccessCycles: sim.Time(c.RegAccessCycles),
+		SpinPollCycles:  sim.Time(c.SpinPollCycles),
+		Topology:        topo,
+		TraceCap:        c.TraceCap,
+		TrackClass:      c.TrackClass,
+	}, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// parseTopology resolves a topology name from the canonical encoding.
+func parseTopology(s string) (Topology, error) {
+	for _, t := range []Topology{TopoFixed, TopoMesh2D} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("machine: unknown topology %q", s)
+}

@@ -1,0 +1,68 @@
+package machine
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// TestParamsCanonicalRoundTrip checks that the canonical encoding carries
+// every field: decode(encode(p)) must reproduce p exactly, including
+// non-default values in every field.
+func TestParamsCanonicalRoundTrip(t *testing.T) {
+	p := DefaultParams()
+	p.Nodes = 7
+	p.Topology = TopoMesh2D
+	p.TraceCap = 12
+	p.TrackClass = false
+	p.ClockGHz = 2.5
+	p.SpinPollCycles = 33
+
+	data, err := p.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParamsFromCanonicalJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+// TestParamsCanonicalStable pins the encoding bytes of the default
+// configuration: two encodings must be identical, and the hash must match
+// the recorded golden. If this test fails because Params changed, bump the
+// golden AND the slipd cache-key version — cached results keyed by the old
+// encoding no longer describe the new machine.
+func TestParamsCanonicalStable(t *testing.T) {
+	a, err := DefaultParams().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultParams().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encoding not deterministic:\n%s\n%s", a, b)
+	}
+	sum := sha256.Sum256(a)
+	const golden = "23f69c44c63be5b54cf5b583c6852f31f446b269a780571cea92dda1d6103bb2"
+	if got := hex.EncodeToString(sum[:]); got != golden {
+		t.Fatalf("canonical hash changed: %s (encoding: %s)\nupdate the golden and bump the slipd cache-key version", got, a)
+	}
+}
+
+// TestParamsCanonicalRejectsUnknown checks that an encoding with fields
+// this build does not know about is refused rather than partially applied.
+func TestParamsCanonicalRejectsUnknown(t *testing.T) {
+	if _, err := ParamsFromCanonicalJSON([]byte(`{"nodes":4,"quantum_links":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParamsFromCanonicalJSON([]byte(`{"nodes":4}{}`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}

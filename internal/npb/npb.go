@@ -16,6 +16,7 @@ package npb
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/omp"
 )
@@ -43,6 +44,21 @@ func (s Scale) String() string {
 		return "paper"
 	}
 	return fmt.Sprintf("scale(%d)", int(s))
+}
+
+// ParseScale resolves a scale name (case-insensitive). It is the single
+// parser shared by the CLI tools and the slipd API, so the two front ends
+// cannot drift on what "paper" means.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "test":
+		return ScaleTest, nil
+	case "small":
+		return ScaleSmall, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return 0, fmt.Errorf("npb: unknown scale %q (valid: test, small, paper)", s)
 }
 
 // Instance is a constructed benchmark ready to run on a runtime: the

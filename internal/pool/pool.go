@@ -6,6 +6,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -27,15 +28,30 @@ func Jobs(jobs int) int {
 // one worker, so callers that need deterministic output must collect into
 // index-addressed slots rather than append in completion order.
 func ForEach(jobs, n int, fn func(int)) {
+	ForEachCtx(context.Background(), jobs, n, fn)
+}
+
+// ForEachCtx is ForEach with cancellable submission: once ctx is done, no
+// new index is dispatched to a worker, in-flight fn calls are awaited, and
+// the context's error is returned. fn calls that were never dispatched
+// simply do not happen, so a caller that needs a value or error in every
+// slot must treat "slot untouched and ForEachCtx returned non-nil" as
+// cancelled (the experiments runner records ctx.Err() in those slots).
+// A finished loop that dispatched every index returns nil even if ctx was
+// cancelled after the last dispatch.
+func ForEachCtx(ctx context.Context, jobs, n int, fn func(int)) error {
 	jobs = Jobs(jobs)
 	if jobs > n {
 		jobs = n
 	}
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -48,9 +64,15 @@ func ForEach(jobs, n int, fn func(int)) {
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
+	var err error
+	for i := 0; i < n && err == nil; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
 	}
 	close(idx)
 	wg.Wait()
+	return err
 }

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -46,6 +47,62 @@ func TestForEachZeroN(t *testing.T) {
 	ForEach(4, 0, func(int) { ran = true })
 	if ran {
 		t.Fatal("fn ran with n = 0")
+	}
+}
+
+// TestForEachCtxCancelStopsDispatch cancels mid-loop and checks the three
+// contract points: the call returns the context error, no new indices are
+// dispatched after cancellation, and in-flight calls are awaited (no fn
+// call is running once ForEachCtx returns).
+func TestForEachCtxCancelStopsDispatch(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 100
+		var ran, active int64
+		err := ForEachCtx(ctx, jobs, n, func(i int) {
+			atomic.AddInt64(&active, 1)
+			if atomic.AddInt64(&ran, 1) == 3 {
+				cancel()
+			}
+			atomic.AddInt64(&active, -1)
+		})
+		if err != context.Canceled {
+			t.Fatalf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+		if got := atomic.LoadInt64(&active); got != 0 {
+			t.Fatalf("jobs=%d: %d fn calls still active after return", jobs, got)
+		}
+		// Cancellation raced with at most `jobs` already-dispatched
+		// indices, so everything after that window must be skipped.
+		if got := atomic.LoadInt64(&ran); got >= n {
+			t.Fatalf("jobs=%d: ran %d of %d indices despite cancellation", jobs, got, n)
+		}
+		cancel()
+	}
+}
+
+// TestForEachCtxPreCancelled runs nothing when the context is already done.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := ForEachCtx(ctx, 4, 10, func(int) { ran = true }); err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("fn ran under a pre-cancelled context")
+	}
+}
+
+// TestForEachCtxCompletedIgnoresLateCancel: a loop that dispatched every
+// index reports success even if the context dies afterwards.
+func TestForEachCtxCompletedIgnoresLateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	err := ForEachCtx(ctx, 2, 8, func(int) { atomic.AddInt64(&ran, 1) })
+	cancel()
+	if err != nil || ran != 8 {
+		t.Fatalf("err = %v, ran = %d", err, ran)
 	}
 }
 

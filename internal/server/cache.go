@@ -1,0 +1,113 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// The result cache. Every simulation in this repository is fully
+// deterministic — same spec, same code, same bytes out — so a cache hit
+// is indistinguishable from a fresh run and results can be cached forever
+// within one code version (the cache key embeds the version, see spec.go).
+// The only policy question left is byte budget, which this LRU answers.
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Bytes     int64
+	Entries   int
+	Budget    int64
+}
+
+// HitRatio returns hits/(hits+misses), 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// lruCache is a byte-budgeted LRU map from cache key to result bytes.
+// Values are treated as immutable by both sides: Put keeps the caller's
+// slice and Get returns it unwrapped.
+type lruCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newLRUCache returns a cache with the given byte budget. A non-positive
+// budget disables storage: every Get misses and every Put is dropped.
+func newLRUCache(budget int64) *lruCache {
+	return &lruCache{budget: budget, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes a value and evicts least-recently-used entries
+// until the budget holds. A value larger than the whole budget is not
+// stored at all rather than evicting everything for nothing.
+func (c *lruCache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(len(val)) > c.budget {
+		return
+	}
+	if e, ok := c.items[key]; ok {
+		c.bytes += int64(len(val)) - int64(len(e.Value.(*lruEntry).val))
+		e.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.budget {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*lruEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.val))
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *lruCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   len(c.items),
+		Budget:    c.budget,
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := newLRUCache(1 << 20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	v, ok := c.Get("a")
+	if !ok || !bytes.Equal(v, []byte("alpha")) {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", got)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newLRUCache(10)
+	c.Put("a", []byte("aaaa")) // 4
+	c.Put("b", []byte("bbbb")) // 8
+	// Touch a so b is the LRU entry.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", []byte("cccc")) // 12 > 10: evict b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a (recently used) was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c (just inserted) was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheUpdateInPlace(t *testing.T) {
+	c := newLRUCache(100)
+	c.Put("k", []byte("short"))
+	c.Put("k", []byte("a much longer value"))
+	v, ok := c.Get("k")
+	if !ok || string(v) != "a much longer value" {
+		t.Fatalf("Get(k) = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != int64(len("a much longer value")) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheRejectsOversizedValue(t *testing.T) {
+	c := newLRUCache(4)
+	c.Put("big", []byte("too large to fit"))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversized value was stored")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 || st.Evictions != 0 {
+		t.Fatalf("oversized Put should be a no-op, stats = %+v", st)
+	}
+}
+
+func TestCacheZeroBudgetDisabled(t *testing.T) {
+	c := newLRUCache(0)
+	c.Put("a", []byte("x"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-budget cache stored a value")
+	}
+}
+
+func TestCacheBudgetHeldUnderChurn(t *testing.T) {
+	c := newLRUCache(64)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("x"), 16))
+	}
+	st := c.Stats()
+	if st.Bytes > st.Budget {
+		t.Fatalf("bytes %d over budget %d", st.Bytes, st.Budget)
+	}
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4 (64/16)", st.Entries)
+	}
+	if st.Evictions != 96 {
+		t.Fatalf("evictions = %d, want 96", st.Evictions)
+	}
+}

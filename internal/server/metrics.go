@@ -1,0 +1,177 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Live metrics in the Prometheus text exposition format, hand-rolled so
+// the repository stays dependency-free. Everything is exported under the
+// slipd_ prefix: job state gauges, queue depth, run counters, cache
+// counters/ratio, and per-label host-side run latency histograms (the
+// label is the kernel for single runs and the suite kind otherwise).
+
+// latencyBuckets are the histogram upper bounds in seconds. Simulated
+// kernels at test scale finish in milliseconds; paper-scale suites take
+// minutes — the buckets cover both ends.
+var latencyBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+type histogram struct {
+	counts []uint64 // one per bucket, plus +Inf at the end
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(latencyBuckets)+1)
+	}
+	i := sort.SearchFloat64s(latencyBuckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+type metrics struct {
+	mu sync.Mutex
+
+	jobsByState map[State]int
+	submitted   uint64 // POST /jobs accepted
+	deduped     uint64 // submissions coalesced onto an in-flight job
+	runs        uint64 // underlying simulation executions started
+	latency     map[string]*histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{jobsByState: map[State]int{}, latency: map[string]*histogram{}}
+}
+
+// jobCreated records a new job entering the given state.
+func (m *metrics) jobCreated(st State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted++
+	m.jobsByState[st]++
+}
+
+// jobTransition moves one job between state gauges.
+func (m *metrics) jobTransition(from, to State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsByState[from]--
+	m.jobsByState[to]++
+}
+
+// dedupHit records a submission answered by an already in-flight job.
+func (m *metrics) dedupHit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deduped++
+}
+
+// runStarted records one underlying simulation execution.
+func (m *metrics) runStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runs++
+}
+
+// runsTotal reads the execution counter (used by the single-flight test).
+func (m *metrics) runsTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runs
+}
+
+// observeLatency records a completed run's host wall-clock under a label.
+func (m *metrics) observeLatency(label string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latency[label]
+	if !ok {
+		h = &histogram{}
+		m.latency[label] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// write renders the exposition. Series are emitted in sorted order so the
+// output is deterministic and diffable.
+func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP slipd_jobs_submitted_total Jobs accepted via POST /jobs.")
+	fmt.Fprintln(w, "# TYPE slipd_jobs_submitted_total counter")
+	fmt.Fprintf(w, "slipd_jobs_submitted_total %d\n", m.submitted)
+
+	fmt.Fprintln(w, "# HELP slipd_jobs_deduplicated_total Submissions coalesced onto an in-flight identical job.")
+	fmt.Fprintln(w, "# TYPE slipd_jobs_deduplicated_total counter")
+	fmt.Fprintf(w, "slipd_jobs_deduplicated_total %d\n", m.deduped)
+
+	fmt.Fprintln(w, "# HELP slipd_runs_total Underlying simulation executions (cache misses that ran).")
+	fmt.Fprintln(w, "# TYPE slipd_runs_total counter")
+	fmt.Fprintf(w, "slipd_runs_total %d\n", m.runs)
+
+	fmt.Fprintln(w, "# HELP slipd_jobs Jobs currently in each state.")
+	fmt.Fprintln(w, "# TYPE slipd_jobs gauge")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed} {
+		fmt.Fprintf(w, "slipd_jobs{state=%q} %d\n", st, m.jobsByState[st])
+	}
+
+	fmt.Fprintln(w, "# HELP slipd_queue_depth Jobs waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE slipd_queue_depth gauge")
+	fmt.Fprintf(w, "slipd_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintln(w, "# HELP slipd_cache_hits_total Result cache hits.")
+	fmt.Fprintln(w, "# TYPE slipd_cache_hits_total counter")
+	fmt.Fprintf(w, "slipd_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintln(w, "# HELP slipd_cache_misses_total Result cache misses.")
+	fmt.Fprintln(w, "# TYPE slipd_cache_misses_total counter")
+	fmt.Fprintf(w, "slipd_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintln(w, "# HELP slipd_cache_evictions_total Entries evicted to hold the byte budget.")
+	fmt.Fprintln(w, "# TYPE slipd_cache_evictions_total counter")
+	fmt.Fprintf(w, "slipd_cache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintln(w, "# HELP slipd_cache_bytes Bytes currently cached.")
+	fmt.Fprintln(w, "# TYPE slipd_cache_bytes gauge")
+	fmt.Fprintf(w, "slipd_cache_bytes %d\n", cache.Bytes)
+	fmt.Fprintln(w, "# HELP slipd_cache_entries Entries currently cached.")
+	fmt.Fprintln(w, "# TYPE slipd_cache_entries gauge")
+	fmt.Fprintf(w, "slipd_cache_entries %d\n", cache.Entries)
+	fmt.Fprintln(w, "# HELP slipd_cache_hit_ratio Hits over lookups since start.")
+	fmt.Fprintln(w, "# TYPE slipd_cache_hit_ratio gauge")
+	fmt.Fprintf(w, "slipd_cache_hit_ratio %.4f\n", cache.HitRatio())
+
+	fmt.Fprintln(w, "# HELP slipd_run_seconds Host wall-clock of completed runs by kernel or suite kind.")
+	fmt.Fprintln(w, "# TYPE slipd_run_seconds histogram")
+	labels := make([]string, 0, len(m.latency))
+	for l := range m.latency {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		h := m.latency[l]
+		cum := uint64(0)
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "slipd_run_seconds_bucket{job=%q,le=%q} %d\n", l, formatLE(le), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "slipd_run_seconds_bucket{job=%q,le=\"+Inf\"} %d\n", l, cum)
+		fmt.Fprintf(w, "slipd_run_seconds_sum{job=%q} %g\n", l, h.sum)
+		fmt.Fprintf(w, "slipd_run_seconds_count{job=%q} %d\n", l, h.total)
+	}
+}
+
+// formatLE renders a bucket bound the way Prometheus expects (no
+// scientific notation, no trailing zeros).
+func formatLE(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,433 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config sizes a Server. Zero values take the documented defaults.
+type Config struct {
+	// CacheBytes is the result cache budget (default 64 MiB; negative
+	// disables caching).
+	CacheBytes int64
+	// Workers is the number of concurrent jobs (default 2). Each job may
+	// itself fan its matrix out over SuiteJobs simulator goroutines.
+	Workers int
+	// SuiteJobs is the per-job matrix concurrency handed to the
+	// experiments runner (0 = runner default of GOMAXPROCS).
+	SuiteJobs int
+	// QueueDepth bounds jobs waiting for a worker (default 256); beyond
+	// it POST /jobs returns 503.
+	QueueDepth int
+	// Version is the code-version component of cache keys (default
+	// CacheKeyVersion). Tests override it to partition cache spaces.
+	Version string
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Version == "" {
+		c.Version = CacheKeyVersion
+	}
+	return c
+}
+
+// Server is the slipd core: a job queue over the simulation runners, a
+// single-flight layer that coalesces identical submissions, a
+// content-addressed result cache, and the metrics that make all of it
+// observable. It is torn down with Shutdown.
+type Server struct {
+	cfg     Config
+	cache   *lruCache
+	metrics *metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // insertion order for GET /jobs
+	inflight map[string]*Job // cache key → queued/running job
+	nextID   int
+	draining bool
+
+	queue chan *Job
+	quit  chan struct{} // closed by Shutdown: drain queue, then exit
+	wg    sync.WaitGroup
+
+	runCtx    context.Context // parent of every job context
+	runCancel context.CancelFunc
+
+	// testBeforeRun, when set by a test before the first submission, is
+	// invoked by the worker as it picks a job up — the only way to hold a
+	// worker busy deterministically without a sleep.
+	testBeforeRun func(*Job)
+}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newLRUCache(cfg.CacheBytes),
+		metrics:  newMetrics(),
+		jobs:     map[string]*Job{},
+		inflight: map[string]*Job{},
+		queue:    make(chan *Job, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	return mux
+}
+
+// submitResponse is the POST /jobs body.
+type submitResponse struct {
+	Job    JobView `json:"job"`
+	Dedup  bool    `json:"dedup"`  // coalesced onto an existing in-flight job
+	Cached bool    `json:"cached"` // answered from the result cache
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := decodeSpec(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := compile(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := c.cacheKey(s.cfg.Version)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
+		return
+	}
+
+	// Single-flight: an identical job already queued or running answers
+	// this submission too. Checked before the cache so a burst of
+	// identical submissions costs one run, not one run plus misses.
+	if j, ok := s.inflight[key]; ok {
+		s.metrics.dedupHit()
+		view := j.snapshot()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, submitResponse{Job: view, Dedup: true})
+		return
+	}
+
+	// Content-addressed cache: determinism means an equal key is an equal
+	// result, so a hit materializes a done job without running anything.
+	if result, ok := s.cache.Get(key); ok {
+		j := s.newJobLocked(key, c.spec, StateDone)
+		j.cached = true
+		j.result = result
+		close(j.done)
+		s.metrics.jobCreated(StateDone)
+		view := j.snapshot()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusCreated, submitResponse{Job: view, Cached: true})
+		return
+	}
+
+	j := s.newJobLocked(key, c.spec, StateQueued)
+	select {
+	case s.queue <- j:
+	default:
+		// Queue full: roll the registration back and shed load.
+		delete(s.jobs, j.ID)
+		delete(s.inflight, key)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("job queue is full"))
+		return
+	}
+	s.metrics.jobCreated(StateQueued)
+	view := j.snapshot()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, submitResponse{Job: view})
+}
+
+// newJobLocked registers a job under the next ID. Caller holds s.mu.
+// Queued jobs also enter the in-flight index so identical submissions
+// coalesce onto them.
+func (s *Server) newJobLocked(key string, spec JobSpec, st State) *Job {
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), key, spec, st)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	if st == StateQueued {
+		s.inflight[key] = j
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].snapshot())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	switch j.stateNow() {
+	case StateDone:
+		result, _ := j.resultBytes()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(result)
+	case StateFailed:
+		v := j.snapshot()
+		httpError(w, http.StatusConflict, fmt.Errorf("job failed: %s", v.Error))
+	default:
+		httpError(w, http.StatusConflict, fmt.Errorf("job is %s; poll until done", j.stateNow()))
+	}
+}
+
+// handleEvents streams progress lines as server-sent events: full replay
+// for late subscribers, then live lines, then a terminal "state" event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live := j.broker.subscribe()
+	defer j.broker.unsubscribe(live)
+	for _, line := range replay {
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", line)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case line, ok := <-live:
+			if !ok {
+				fmt.Fprintf(w, "event: state\ndata: %s\n\n", j.stateNow())
+				flusher.Flush()
+				return
+			}
+			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", line)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	was, ok := j.abort("cancelled by client")
+	if was == StateQueued && ok {
+		// The job died in the queue; a worker will skip it. Settle the
+		// books now so gauges and single-flight don't wait for that.
+		s.metrics.jobTransition(StateQueued, StateFailed)
+		s.clearInflight(j)
+		j.broker.close()
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, len(s.queue), s.cache.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"cache_key_version": s.cfg.Version})
+}
+
+// worker runs jobs until the queue is empty after Shutdown closes quit.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.runJob(j)
+		case <-s.quit:
+			// Drain: finish whatever is still queued, then exit.
+			for {
+				select {
+				case j := <-s.queue:
+					s.runJob(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runJob executes one queued job end to end.
+func (s *Server) runJob(j *Job) {
+	if s.testBeforeRun != nil {
+		s.testBeforeRun(j)
+	}
+	ctx, cancel := context.WithCancel(s.runCtx)
+	defer cancel()
+	if !j.tryStart(cancel) {
+		return // cancelled while queued; handleCancel settled it
+	}
+	s.metrics.jobTransition(StateQueued, StateRunning)
+	s.metrics.runStarted()
+
+	j.mu.Lock()
+	spec := j.spec
+	j.mu.Unlock()
+	c, err := compile(spec)
+
+	var result []byte
+	start := time.Now()
+	if err == nil {
+		result, err = s.execute(ctx, c, j.broker)
+	}
+	elapsed := time.Since(start)
+
+	if err == nil {
+		s.cache.Put(j.Key, result)
+		j.finish(result, "")
+		s.metrics.jobTransition(StateRunning, StateDone)
+	} else {
+		j.finish(nil, err.Error())
+		s.metrics.jobTransition(StateRunning, StateFailed)
+	}
+	if c != nil {
+		s.metrics.observeLatency(c.label(), elapsed)
+	}
+	s.clearInflight(j)
+	j.broker.close()
+}
+
+// clearInflight removes a settled job from the single-flight index (only
+// if it still owns its key — a later identical submission may have
+// re-registered it).
+func (s *Server) clearInflight(j *Job) {
+	s.mu.Lock()
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown drains gracefully: stop accepting jobs, let workers finish
+// everything queued and running, and if the context expires first cancel
+// the remaining work so jobs fail fast instead of hanging. Returns nil on
+// a clean drain, the context error otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.quit)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.runCancel() // abort in-flight cells; workers then settle quickly
+		<-done
+		return ctx.Err()
+	}
+}
+
+// RunsTotal reports how many underlying simulation executions have
+// started (exported for the single-flight acceptance test and smoke
+// tool assertions; the same number is in /metrics as slipd_runs_total).
+func (s *Server) RunsTotal() uint64 { return s.metrics.runsTotal() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

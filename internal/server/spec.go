@@ -1,0 +1,328 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/npb"
+	"repro/internal/omp"
+)
+
+// CacheKeyVersion is the code-version component of every cache key. Bump
+// it whenever a change alters simulation results or rendered output for
+// an unchanged spec (new machine parameter, timing-model fix, table
+// format change) — stale cached bytes must stop matching.
+const CacheKeyVersion = "slipd-1"
+
+// Job kinds, mirroring the CLI surface: a single kernel run, the paper's
+// static/dynamic suites, the fixed-size scaling study, the A–R token
+// sweep, and the synthetic-workload characterization.
+const (
+	KindRun          = "run"
+	KindStatic       = "static"
+	KindDynamic      = "dynamic"
+	KindScaling      = "scaling"
+	KindTokens       = "tokens"
+	KindCharacterize = "characterize"
+)
+
+// JobSpec is the POST /jobs request body. String fields use the same
+// vocabulary as the slipsim/sweep CLI flags, parsed by the same shared
+// parsers, so anything expressible on the command line is expressible as
+// a job. Omitted fields take documented defaults; unknown fields are
+// rejected.
+type JobSpec struct {
+	Kind string `json:"kind"`
+
+	// Single-run fields (kind "run"; Kernel also selects the scaling and
+	// token-sweep subject).
+	Kernel string `json:"kernel,omitempty"`
+	Mode   string `json:"mode,omitempty"`   // single|double|slipstream (default slipstream)
+	Sync   string `json:"sync,omitempty"`   // GLOBAL_SYNC|LOCAL_SYNC|NONE (default GLOBAL_SYNC)
+	Tokens int    `json:"tokens,omitempty"` // initial token count
+	Sched  string `json:"sched,omitempty"`  // static|dynamic|guided (default static)
+	Chunk  int    `json:"chunk,omitempty"`  // 0 = kernel default for dynamic/guided
+
+	// Shared fields.
+	Scale          string   `json:"scale,omitempty"`   // test|small|paper (default test)
+	Nodes          int      `json:"nodes,omitempty"`   // default 16
+	Kernels        []string `json:"kernels,omitempty"` // suite filter; empty = all
+	SelfInvalidate bool     `json:"self_invalidate,omitempty"`
+	Verify         *bool    `json:"verify,omitempty"` // default true
+
+	// Study fields.
+	NodeCounts  []int `json:"node_counts,omitempty"`  // kind "scaling"
+	TokenCounts []int `json:"token_counts,omitempty"` // kind "tokens"
+
+	// Params optionally overrides the simulated machine, in the canonical
+	// machine.Params encoding (all fields present). Absent = Table 1
+	// defaults.
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// compiledSpec is a validated, normalized spec with every string resolved
+// to its typed value, ready to execute and to hash.
+type compiledSpec struct {
+	spec  JobSpec // normalized copy (canonical casing, defaults applied)
+	scale npb.Scale
+	opts  experiments.Options // canonical options for the suite kinds
+	mode  core.Mode
+	sync  core.Config
+	sched omp.Schedule
+}
+
+// label names the metrics series for this spec: the kernel for
+// single-subject kinds, the kind for suites.
+func (c *compiledSpec) label() string {
+	switch c.spec.Kind {
+	case KindRun, KindScaling, KindTokens:
+		return c.spec.Kernel
+	}
+	return c.spec.Kind
+}
+
+// compile validates a spec, applies defaults, and normalizes casing. All
+// user errors surface here as 400s; execution only sees valid specs.
+func compile(s JobSpec) (*compiledSpec, error) {
+	c := &compiledSpec{spec: s}
+
+	if s.Scale == "" {
+		c.spec.Scale = "test"
+	}
+	scale, err := npb.ParseScale(c.spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	c.scale = scale
+	c.spec.Scale = scale.String()
+
+	if s.Nodes == 0 {
+		c.spec.Nodes = 16
+	} else if s.Nodes < 0 {
+		return nil, fmt.Errorf("nodes %d invalid", s.Nodes)
+	}
+
+	verify := true
+	if s.Verify != nil {
+		verify = *s.Verify
+	}
+	c.spec.Verify = &verify
+
+	opts := experiments.Options{
+		Nodes:          c.spec.Nodes,
+		Scale:          scale,
+		Kernels:        s.Kernels,
+		SelfInvalidate: s.SelfInvalidate,
+		Verify:         verify,
+	}
+	if len(s.Params) > 0 {
+		p, err := machine.ParamsFromCanonicalJSON(s.Params)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		opts.Params = &p
+	}
+	c.opts = opts.Canonical()
+	if err := c.opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	c.spec.Kernels = c.opts.Kernels
+	// Re-encode the resolved machine into the normalized spec so two
+	// specs describing the same machine (explicit defaults vs. omitted)
+	// normalize identically.
+	pj, err := c.opts.Params.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	c.spec.Params = pj
+
+	needKernel := func() error {
+		if c.spec.Kernel == "" {
+			return fmt.Errorf("kind %q requires a kernel", c.spec.Kind)
+		}
+		k, err := npb.ByName(strings.ToUpper(c.spec.Kernel))
+		if err != nil {
+			return err
+		}
+		c.spec.Kernel = k.Name
+		return nil
+	}
+
+	switch s.Kind {
+	case KindRun:
+		if err := needKernel(); err != nil {
+			return nil, err
+		}
+		if c.spec.Mode == "" {
+			c.spec.Mode = "slipstream"
+		}
+		if c.mode, err = experiments.ParseMode(c.spec.Mode); err != nil {
+			return nil, err
+		}
+		c.spec.Mode = modeName(c.mode)
+		if c.spec.Sync == "" {
+			c.spec.Sync = "GLOBAL_SYNC"
+		}
+		if c.sync, err = experiments.ParseSync(c.spec.Sync, c.spec.Tokens); err != nil {
+			return nil, err
+		}
+		c.spec.Sync = strings.ToUpper(c.spec.Sync)
+		c.spec.Tokens = c.sync.Tokens // NONE zeroes the count
+		if c.spec.Sched == "" {
+			c.spec.Sched = "static"
+		}
+		if c.sched, err = experiments.ParseSched(c.spec.Sched); err != nil {
+			return nil, err
+		}
+		c.spec.Sched = c.sched.String()
+		if c.spec.Chunk < 0 {
+			return nil, fmt.Errorf("chunk %d invalid", c.spec.Chunk)
+		}
+	case KindStatic, KindDynamic, KindCharacterize:
+		if c.spec.Kernel != "" {
+			return nil, fmt.Errorf("kind %q takes a kernels filter, not kernel", s.Kind)
+		}
+	case KindScaling:
+		if err := needKernel(); err != nil {
+			return nil, err
+		}
+		if err := validateCounts(s.NodeCounts, 1, "node_counts"); err != nil {
+			return nil, err
+		}
+	case KindTokens:
+		if err := needKernel(); err != nil {
+			return nil, err
+		}
+		if err := validateCounts(s.TokenCounts, 0, "token_counts"); err != nil {
+			return nil, err
+		}
+	case "":
+		return nil, fmt.Errorf("missing kind (valid: run, static, dynamic, scaling, tokens, characterize)")
+	default:
+		return nil, fmt.Errorf("unknown kind %q (valid: run, static, dynamic, scaling, tokens, characterize)", s.Kind)
+	}
+
+	// Validate the suite filter eagerly so a bad name 400s at submit.
+	if len(c.spec.Kernels) > 0 {
+		for _, name := range c.spec.Kernels {
+			if _, err := npb.ByName(name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// validateCounts applies the same rules as the sweep CLI: at least one
+// value, each at or above min, no duplicates.
+func validateCounts(counts []int, min int, field string) error {
+	if len(counts) == 0 {
+		return fmt.Errorf("kind requires non-empty %s", field)
+	}
+	seen := map[int]bool{}
+	for _, n := range counts {
+		if n < min {
+			return fmt.Errorf("%s value %d is below the minimum %d", field, n, min)
+		}
+		if seen[n] {
+			return fmt.Errorf("duplicate %s value %d", field, n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// canonKey is the frozen hashing shape (alphabetical field order, no
+// omitempty: absent and zero must hash identically forever).
+type canonKey struct {
+	Chunk       int             `json:"chunk"`
+	Kernel      string          `json:"kernel"`
+	Kind        string          `json:"kind"`
+	Mode        string          `json:"mode"`
+	NodeCounts  []int           `json:"node_counts"`
+	Options     json.RawMessage `json:"options"`
+	Sched       string          `json:"sched"`
+	Sync        string          `json:"sync"`
+	TokenCounts []int           `json:"token_counts"`
+	Tokens      int             `json:"tokens"`
+	Version     string          `json:"version"`
+}
+
+// cacheKey hashes the canonical form of the spec plus the code version.
+// Determinism makes this sound: two specs with equal keys run the same
+// simulation on the same code and therefore produce identical bytes.
+func (c *compiledSpec) cacheKey(version string) (string, error) {
+	oj, err := c.opts.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	nodeCounts := append([]int(nil), c.spec.NodeCounts...)
+	sort.Ints(nodeCounts)
+	tokenCounts := append([]int(nil), c.spec.TokenCounts...)
+	sort.Ints(tokenCounts)
+	data, err := json.Marshal(canonKey{
+		Chunk:       c.spec.Chunk,
+		Kernel:      c.spec.Kernel,
+		Kind:        c.spec.Kind,
+		Mode:        c.spec.Mode,
+		NodeCounts:  emptyNotNil(nodeCounts),
+		Options:     oj,
+		Sched:       c.spec.Sched,
+		Sync:        c.spec.Sync,
+		TokenCounts: emptyNotNil(tokenCounts),
+		Tokens:      c.spec.Tokens,
+		Version:     version,
+	})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// emptyNotNil keeps nil and empty slices hashing identically ([]).
+func emptyNotNil(xs []int) []int {
+	if xs == nil {
+		return []int{}
+	}
+	return xs
+}
+
+// decodeSpec parses a request body strictly: unknown fields and trailing
+// data are rejected so typos fail loudly instead of running a default.
+func decodeSpec(r io.Reader) (JobSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return JobSpec{}, err
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return JobSpec{}, fmt.Errorf("trailing data after job spec")
+	}
+	return s, nil
+}
+
+// modeName renders a mode the way ParseMode accepts it.
+func modeName(m core.Mode) string {
+	switch m {
+	case core.ModeSingle:
+		return "single"
+	case core.ModeDouble:
+		return "double"
+	default:
+		return "slipstream"
+	}
+}

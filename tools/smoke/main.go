@@ -1,0 +1,169 @@
+// Command smoke is the end-to-end check behind `make smoke`: it starts a
+// real slipd process, submits a CG scaling job over HTTP, asserts the
+// rendered speedup table comes back with a 200, then sends SIGTERM and
+// asserts the daemon drains and exits 0.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := "bin/slipd"
+	if len(os.Args) > 1 {
+		bin = os.Args[1]
+	}
+	if err := run(bin); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke: PASSED")
+}
+
+func run(bin string) error {
+	// Grab a free port; the tiny window between closing the probe
+	// listener and slipd binding it is acceptable for a smoke test.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "1", "-drain", "2m")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", bin, err)
+	}
+	defer cmd.Process.Kill()
+	base := "http://" + addr
+
+	if err := waitHealthy(base, 10*time.Second); err != nil {
+		return err
+	}
+
+	// One CG fixed-size scaling study at test scale: small enough to run
+	// in seconds, and its result is a real speedup table.
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"scaling","kernel":"CG","node_counts":[2,4],"scale":"test"}`))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("POST /jobs = %d: %s", resp.StatusCode, body)
+	}
+	var sr struct {
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return fmt.Errorf("decode submit response: %w (%s)", err, body)
+	}
+
+	if err := waitDone(base, sr.Job.ID, 2*time.Minute); err != nil {
+		return err
+	}
+
+	result, code, err := get(base + "/jobs/" + sr.Job.ID + "/result")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("GET result = %d, want 200: %s", code, result)
+	}
+	for _, want := range []string{"Fixed-size scaling, CG", "speedup"} {
+		if !strings.Contains(result, want) {
+			return fmt.Errorf("result missing %q:\n%s", want, result)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "smoke: got speedup table:\n%s", result)
+
+	metrics, _, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(metrics, "slipd_runs_total 1") {
+		return fmt.Errorf("metrics missing slipd_runs_total 1:\n%s", metrics)
+	}
+
+	// Graceful termination: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("slipd exited non-zero after SIGTERM: %w", err)
+		}
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("slipd did not exit within 2m of SIGTERM")
+	}
+	return nil
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if _, code, err := get(base + "/healthz"); err == nil && code == http.StatusOK {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("slipd not healthy within %s", timeout)
+}
+
+func waitDone(base, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		body, code, err := get(base + "/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("GET /jobs/%s = %d: %s", id, code, body)
+		}
+		var v struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			return err
+		}
+		switch v.State {
+		case "done":
+			return nil
+		case "failed":
+			return fmt.Errorf("job failed: %s", v.Error)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s not done within %s", id, timeout)
+}
+
+func get(url string) (string, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, err
+	}
+	return string(b), resp.StatusCode, nil
+}
