@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race verify bench smoke
+.PHONY: build test test-short vet race verify bench smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ verify: build test vet race
 # BENCH_PR2.json for diffable tracking across PRs.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . | $(GO) run ./tools/benchjson -o BENCH_PR2.json
+
+# Short fuzz passes over the parser surfaces (one target per invocation:
+# the go tool runs a single fuzz target at a time).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzParseEnv -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzPentaSolve -fuzztime 10s ./internal/npb
 
 # End-to-end: boot a real slipd, drive one job over HTTP, SIGTERM it.
 smoke:

@@ -34,21 +34,23 @@ func main() {
 		suiteJobs  = flag.Int("suite-jobs", 0, "per-job matrix concurrency (0 = one per CPU)")
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (<=0 disables)")
 		queueDepth = flag.Int("queue-depth", 256, "max queued jobs before POST /jobs sheds load")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job execution wall-clock limit (0 = none)")
 		drain      = flag.Duration("drain", 5*time.Minute, "graceful-shutdown deadline for in-flight jobs")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *suiteJobs, *cacheBytes, *queueDepth, *drain); err != nil {
+	if err := run(*addr, *workers, *suiteJobs, *cacheBytes, *queueDepth, *jobTimeout, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "slipd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, suiteJobs int, cacheBytes int64, queueDepth int, drain time.Duration) error {
+func run(addr string, workers, suiteJobs int, cacheBytes int64, queueDepth int, jobTimeout, drain time.Duration) error {
 	srv := server.New(server.Config{
 		CacheBytes: cacheBytes,
 		Workers:    workers,
 		SuiteJobs:  suiteJobs,
 		QueueDepth: queueDepth,
+		JobTimeout: jobTimeout,
 	})
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 

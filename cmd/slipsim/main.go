@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/npb"
 	"repro/internal/omp"
@@ -47,9 +48,19 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "print a JSON snapshot after a single run")
 		topology   = flag.String("topology", "fixed", "interconnect: fixed|mesh")
 		jobs       = flag.Int("jobs", 0, "max concurrent simulation runs (0 = one per CPU, 1 = sequential)")
+		faultSpec  = flag.String("faults", "", "deterministic fault plan seed:rate[:classes] for -kernel/-workload runs")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
+
+	var faultPlan *faults.Config
+	if *faultSpec != "" {
+		fc, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		faultPlan = &fc
+	}
 
 	sc, err := npb.ParseScale(*scale)
 	if err != nil {
@@ -67,15 +78,18 @@ func main() {
 
 	switch {
 	case *experiment != "":
+		if faultPlan != nil {
+			fatal(errors.New("-faults applies to -kernel/-workload runs; use sweep -study chaos for fault-rate sweeps"))
+		}
 		if err := runExperiment(*experiment, opts, *csvPath, *quiet); err != nil {
 			fatal(err)
 		}
 	case *kernel != "":
-		if err := runSingle(*kernel, *mode, *sync, *tokens, *env, *sched, *chunk, *traceN, *topology, *jsonOut, opts); err != nil {
+		if err := runSingle(*kernel, *mode, *sync, *tokens, *env, *sched, *chunk, *traceN, *topology, *jsonOut, faultPlan, opts); err != nil {
 			fatal(err)
 		}
 	case *workload != "":
-		if err := runWorkload(*workload, *mode, *sync, *tokens, *sched, *chunk, opts); err != nil {
+		if err := runWorkload(*workload, *mode, *sync, *tokens, *sched, *chunk, faultPlan, opts); err != nil {
 			fatal(err)
 		}
 	default:
@@ -184,7 +198,7 @@ func runExperiment(name string, opts experiments.Options, csvPath string, quiet 
 	return nil
 }
 
-func runSingle(kernel, mode, sync string, tokens int, env, sched string, chunk, traceN int, topology string, jsonOut bool, opts experiments.Options) error {
+func runSingle(kernel, mode, sync string, tokens int, env, sched string, chunk, traceN int, topology string, jsonOut bool, faultPlan *faults.Config, opts experiments.Options) error {
 	k, err := npb.ByName(strings.ToUpper(kernel))
 	if err != nil {
 		return err
@@ -200,7 +214,7 @@ func runSingle(kernel, mode, sync string, tokens int, env, sched string, chunk, 
 		return fmt.Errorf("unknown topology %q", topology)
 	}
 
-	cfg := omp.Config{Machine: p, Env: env, SelfInvalidate: opts.SelfInvalidate}
+	cfg := omp.Config{Machine: p, Env: env, SelfInvalidate: opts.SelfInvalidate, Faults: faultPlan}
 	if cfg.Mode, err = experiments.ParseMode(mode); err != nil {
 		return err
 	}
@@ -246,6 +260,9 @@ func runSingle(kernel, mode, sync string, tokens int, env, sched string, chunk, 
 	fmt.Printf("cycles:     %d (%.3f ms simulated at %.1f GHz)\n",
 		r.Wall, float64(r.Wall)/(p.ClockGHz*1e6), p.ClockGHz)
 	fmt.Printf("breakdown:  %s\n", r.Breakdown.String())
+	if faultPlan != nil {
+		fmt.Printf("faults:     %d injected (%s)\n", rt.FaultsInjected(), rt.Faults().Summary())
+	}
 	if cfg.Mode == core.ModeSlipstream {
 		fmt.Printf("recoveries: %d\nshared-request classification:\n%s\n", r.Recoveries, r.Class.String())
 	}
@@ -267,10 +284,10 @@ func runSingle(kernel, mode, sync string, tokens int, env, sched string, chunk, 
 }
 
 // runWorkload executes a synthetic workload in one configuration.
-func runWorkload(name, mode, sync string, tokens int, sched string, chunk int, opts experiments.Options) error {
+func runWorkload(name, mode, sync string, tokens int, sched string, chunk int, faultPlan *faults.Config, opts experiments.Options) error {
 	p := machine.DefaultParams()
 	p.Nodes = opts.Nodes
-	cfg := omp.Config{Machine: p, Chunk: chunk}
+	cfg := omp.Config{Machine: p, Chunk: chunk, Faults: faultPlan}
 	var err error
 	if cfg.Mode, err = experiments.ParseMode(mode); err != nil {
 		return err
@@ -301,6 +318,9 @@ func runWorkload(name, mode, sync string, tokens int, sched string, chunk int, o
 	fmt.Printf("%s: %s\n", w.Name, w.Desc)
 	fmt.Printf("cycles:     %d\n", rt.M.WallTime())
 	fmt.Printf("breakdown:  %s\n", bd.String())
+	if faultPlan != nil {
+		fmt.Printf("faults:     %d injected (%s)\n", rt.FaultsInjected(), rt.Faults().Summary())
+	}
 	if cfg.Mode == core.ModeSlipstream {
 		fmt.Printf("classification:\n%s\n", rt.M.Class.String())
 	}

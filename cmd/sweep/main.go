@@ -2,13 +2,17 @@
 //
 //   - a fixed-problem-size scaling study across machine sizes (the paper's
 //     motivating scenario: adding CMPs stops paying once communication
-//     dominates, and slipstream extends the useful range), and
-//   - an A–R synchronization sweep over token insertion points and counts.
+//     dominates, and slipstream extends the useful range),
+//   - an A–R synchronization sweep over token insertion points and counts,
+//     and
+//   - a chaos study sweeping a deterministic fault plan across injection
+//     rates, printing degradation curves with verification forced on.
 //
 // Examples:
 //
 //	sweep -kernel MG -study scaling -nodes 2,4,8,16
 //	sweep -kernel CG -study tokens -tokens 0,1,2,4
+//	sweep -kernel CG -study chaos -faults 42:0,0.01,0.05,0.2
 package main
 
 import (
@@ -20,21 +24,23 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/npb"
 	"repro/internal/synth"
 )
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "MG", "benchmark: BT|CG|LU|MG|SP")
-		study  = flag.String("study", "scaling", "study to run: scaling|tokens|characterize")
-		nodes  = flag.String("nodes", "2,4,8,16", "node counts for -study scaling")
-		tokens = flag.String("tokens", "0,1,2,4", "token counts for -study tokens")
-		at     = flag.Int("at", 16, "node count for -study tokens")
-		scale  = flag.String("scale", "small", "problem scale: test|small|paper")
-		verify = flag.Bool("verify", true, "verify against serial references")
-		jobs   = flag.Int("jobs", 0, "max concurrent simulation runs (0 = one per CPU, 1 = sequential)")
-		quiet  = flag.Bool("q", false, "suppress progress output")
+		kernel    = flag.String("kernel", "MG", "benchmark: BT|CG|LU|MG|SP")
+		study     = flag.String("study", "scaling", "study to run: scaling|tokens|characterize|chaos")
+		nodes     = flag.String("nodes", "2,4,8,16", "node counts for -study scaling")
+		tokens    = flag.String("tokens", "0,1,2,4", "token counts for -study tokens")
+		at        = flag.Int("at", 16, "node count for -study tokens/characterize/chaos")
+		scale     = flag.String("scale", "small", "problem scale: test|small|paper")
+		verify    = flag.Bool("verify", true, "verify against serial references")
+		jobs      = flag.Int("jobs", 0, "max concurrent simulation runs (0 = one per CPU, 1 = sequential)")
+		faultSpec = flag.String("faults", "42:0,0.01,0.05,0.2", "fault sweep seed:rate,...[:classes] for -study chaos")
+		quiet     = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -74,6 +80,27 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintCharacterization(rows, os.Stdout)
+	case "chaos":
+		plan, rates, err := faults.ParseSweep(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		o := experiments.Options{
+			Nodes:   *at,
+			Scale:   sc,
+			Kernels: []string{strings.ToUpper(*kernel)},
+			Jobs:    *jobs,
+		}
+		suite, err := experiments.RunChaos(o, plan, rates, progress)
+		if err != nil {
+			fatal(err)
+		}
+		suite.Curves(os.Stdout)
+		// The curves name the failing cells; the exit code must still say
+		// the invariant broke.
+		if err := suite.Err(); err != nil {
+			fatal(err)
+		}
 	default:
 		fatal(fmt.Errorf("unknown study %q", *study))
 	}

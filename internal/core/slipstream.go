@@ -306,9 +306,31 @@ func (c *Controller) RBarrierEnter(p *machine.Proc, cfg Config) {
 		r.Recover = 1
 		c.recoveries++
 	}
-	if cfg.Type == LocalSync {
-		r.RBarriers++
+	// Injected divergence: request recovery exactly as a real divergence
+	// detection would (skipped while one is already pending or the
+	// A-stream sits the region out).
+	if r.AIdle == 0 && r.Recover == 0 && c.M.Faults.ForceDivergence(p.GID) {
+		r.Recover = 1
+		c.recoveries++
 	}
+	if cfg.Type == LocalSync {
+		c.insertToken(r, p.GID)
+	}
+}
+
+// insertToken advances the R-side token count unless the fault plan drops
+// the token. A drop must arm recovery: the A-stream waiting on that token
+// would otherwise spin forever on a semaphore nobody will post. Recovery
+// resynchronizes the pair's counters, so a lost token costs time only.
+func (c *Controller) insertToken(r *machine.PairRegs, gid int) {
+	if r.AIdle == 0 && c.M.Faults.DropToken(gid) {
+		if r.Recover == 0 {
+			r.Recover = 1
+			c.recoveries++
+		}
+		return
+	}
+	r.RBarriers++
 }
 
 // RBarrierExit is the R-stream hook at barrier exit. With global
@@ -320,7 +342,7 @@ func (c *Controller) RBarrierEnter(p *machine.Proc, cfg Config) {
 // remains for runtimes without a completion hook.
 func (c *Controller) RBarrierExit(p *machine.Proc, cfg Config) {
 	if cfg.Type == GlobalSync {
-		c.reg(p).RBarriers++
+		c.insertToken(c.reg(p), p.GID)
 	}
 }
 
@@ -329,7 +351,7 @@ func (c *Controller) RBarrierExit(p *machine.Proc, cfg Config) {
 // hardware semaphore, used for global synchronization so the token appears
 // when the barrier completes rather than when the R-stream wakes.
 func (c *Controller) InsertTokenAt(p *machine.Proc) {
-	p.Node.Regs.RBarriers++
+	c.insertToken(&p.Node.Regs, p.GID)
 }
 
 // ABarrier is the A-stream's barrier: instead of joining the team barrier

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/npb"
+	"repro/internal/omp"
+)
+
+// The chaos suite sweeps a deterministic fault plan across injection
+// rates and measures how gracefully slipstream execution degrades. The
+// load-bearing invariant it exercises: A-streams never write the backing
+// store and divergence recovery (§2.2) resynchronizes them from their
+// R-streams, so no injected fault may ever corrupt an R-stream result —
+// faults cost time, never correctness. Every cell therefore runs with
+// verification forced on, and a cell that fails to verify fails the
+// suite loudly instead of rendering.
+
+// chaosConfigOrder is the report order of the per-kernel configurations:
+// static slipstream for every kernel, dynamic for kernels that allow it
+// (the straggler classes hit the two schedules very differently).
+var chaosConfigOrder = []string{"slip-G0", "slip-G0-dyn"}
+
+// ChaosRow is one fault rate's results for one kernel.
+type ChaosRow struct {
+	Rate    float64
+	Results map[string]Result // config name → result
+}
+
+// ChaosSuite holds a chaos sweep's results.
+type ChaosSuite struct {
+	Plan    faults.Config // seed and class subset (Rate varies per row)
+	Rates   []float64     // normalized: ascending, deduped, 0 included
+	Kernels []string      // report order
+	Rows    map[string][]ChaosRow
+	Errors  []CellError
+}
+
+// Err returns the per-cell failures joined into one error, nil if none.
+func (s *ChaosSuite) Err() error {
+	if s == nil {
+		return nil
+	}
+	return joinCellErrors(s.Errors)
+}
+
+// normalizeRates sorts, dedupes, and guarantees the fault-free baseline
+// rate 0 every slowdown is computed against.
+func normalizeRates(rates []float64) []float64 {
+	seen := map[float64]bool{0: true}
+	out := []float64{0}
+	for _, r := range rates {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// RunChaos sweeps the fault plan across rates for every kernel in o's
+// filter. plan.Rate is ignored; each rate in rates (plus the implicit
+// fault-free 0) runs the full plan at that rate. Verification is forced
+// on regardless of o.Verify.
+func RunChaos(o Options, plan faults.Config, rates []float64, progress io.Writer) (*ChaosSuite, error) {
+	return RunChaosCtx(context.Background(), o, plan, rates, progress)
+}
+
+// RunChaosCtx is RunChaos with cancellation, with the same partial-result
+// semantics as the other suite runners: cells run on up to o.Jobs workers
+// and are collected in matrix order, so reports are byte-identical at any
+// concurrency.
+func RunChaosCtx(ctx context.Context, o Options, plan faults.Config, rates []float64, progress io.Writer) (*ChaosSuite, error) {
+	plan.Rate = 0
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	for _, r := range rates {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("chaos: rate %g outside [0, 1]", r)
+		}
+	}
+	ks, err := o.kernels()
+	if err != nil {
+		return nil, err
+	}
+	s := &ChaosSuite{Plan: plan, Rates: normalizeRates(rates), Rows: map[string][]ChaosRow{}}
+	p := o.params()
+
+	type cell struct {
+		kernel npb.Kernel
+		rate   float64
+		name   string
+		cfg    omp.Config
+	}
+	var cells []cell
+	for _, k := range ks {
+		s.Kernels = append(s.Kernels, k.Name)
+		for _, rate := range s.Rates {
+			s.Rows[k.Name] = append(s.Rows[k.Name], ChaosRow{Rate: rate, Results: map[string]Result{}})
+			var fc *faults.Config
+			if rate > 0 {
+				c := plan
+				c.Rate = rate
+				fc = &c
+			}
+			cells = append(cells, cell{k, rate, "slip-G0", omp.Config{
+				Machine: p, Mode: core.ModeSlipstream, Slipstream: core.G0,
+				SelfInvalidate: o.SelfInvalidate, Faults: fc,
+			}})
+			if k.Dynamic {
+				cells = append(cells, cell{k, rate, "slip-G0-dyn", omp.Config{
+					Machine: p, Mode: core.ModeSlipstream, Slipstream: core.G0,
+					Sched: omp.Dynamic, Chunk: k.ChunkFor(o.Scale, p.Nodes), Faults: fc,
+				}})
+			}
+		}
+	}
+
+	pw := newProgress(progress)
+	results, errs := collect(ctx, o.Jobs, len(cells), func(i int) (Result, error) {
+		c := cells[i]
+		pw.printf("chaos %s/%s @ rate %g...\n", c.kernel.Name, c.name, c.rate)
+		return RunOne(c.kernel, c.name, c.cfg, o.Scale, true)
+	})
+	for i, c := range cells {
+		if errs[i] != nil {
+			s.Errors = append(s.Errors, CellError{Kernel: c.kernel.Name,
+				Config: fmt.Sprintf("%s@rate=%g", c.name, c.rate), Err: errs[i]})
+			continue
+		}
+		rows := s.Rows[c.kernel.Name]
+		for ri := range rows {
+			if rows[ri].Rate == c.rate {
+				rows[ri].Results[c.name] = results[i]
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+// TotalFaults sums the injected-fault counts across all cells.
+func (s *ChaosSuite) TotalFaults() uint64 {
+	var t uint64
+	for _, rows := range s.Rows {
+		for _, row := range rows {
+			for _, r := range row.Results {
+				t += r.Faults
+			}
+		}
+	}
+	return t
+}
+
+// TotalRecoveries sums the divergence recoveries across all cells.
+func (s *ChaosSuite) TotalRecoveries() uint64 {
+	var t uint64
+	for _, rows := range s.Rows {
+		for _, row := range rows {
+			for _, r := range row.Results {
+				t += r.Recoveries
+			}
+		}
+	}
+	return t
+}
+
+// classList names the plan's armed classes ("all" when unrestricted).
+func classList(cs []faults.Class) string {
+	if len(cs) == 0 {
+		return "all"
+	}
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.String()
+	}
+	return strings.Join(names, ",")
+}
+
+// Curves renders the degradation curves in the Fig2–Fig5 deterministic
+// table style: per kernel and configuration, cycles, slowdown versus the
+// same configuration's fault-free run, recoveries, and injected faults at
+// each rate. Cells without results (failed or filtered) render "n/a".
+func (s *ChaosSuite) Curves(w io.Writer) {
+	fmt.Fprintf(w, "Chaos degradation curves (seed %d, classes %s; slowdown vs same config at rate 0)\n",
+		s.Plan.Seed, classList(s.Plan.Classes))
+	fmt.Fprintf(w, "%-4s %-12s %8s %12s %9s %11s %9s\n",
+		"app", "config", "rate", "cycles", "slowdown", "recoveries", "injected")
+	cellCount := 0
+	for _, name := range s.Kernels {
+		rows := s.Rows[name]
+		for _, cfg := range chaosConfigOrder {
+			var base uint64
+			for _, row := range rows {
+				if row.Rate == 0 {
+					if r, ok := row.Results[cfg]; ok {
+						base = r.Wall
+					}
+				}
+			}
+			printed := false
+			for _, row := range rows {
+				r, ok := row.Results[cfg]
+				if !ok {
+					continue
+				}
+				printed = true
+				cellCount++
+				if base > 0 && r.Wall > 0 {
+					fmt.Fprintf(w, "%-4s %-12s %8g %12d %9.3f %11d %9d\n",
+						name, cfg, row.Rate, r.Wall, float64(r.Wall)/float64(base), r.Recoveries, r.Faults)
+				} else {
+					fmt.Fprintf(w, "%-4s %-12s %8g %12d %9s %11d %9d\n",
+						name, cfg, row.Rate, r.Wall, "n/a", r.Recoveries, r.Faults)
+				}
+			}
+			if printed {
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	if len(s.Errors) > 0 {
+		fmt.Fprintf(w, "%d cell(s) FAILED under fault injection:\n", len(s.Errors))
+		for _, e := range s.Errors {
+			fmt.Fprintf(w, "  %s\n", e.Error())
+		}
+		return
+	}
+	fmt.Fprintf(w, "verification: PASSED for all %d cells (faults cost time, never correctness)\n", cellCount)
+}

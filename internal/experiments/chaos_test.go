@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/npb"
+)
+
+func chaosOpts(jobs int) Options {
+	return Options{Nodes: 4, Scale: npb.ScaleTest, Kernels: []string{"CG"}, Jobs: jobs}
+}
+
+// The acceptance bar for the chaos suite: the same seed and rates render
+// byte-identical reports at any -jobs value.
+func TestChaosDeterministicAtAnyJobs(t *testing.T) {
+	plan := faults.Config{Seed: 42}
+	rates := []float64{0.5}
+	render := func(jobs int) string {
+		s, err := RunChaos(chaosOpts(jobs), plan, rates, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Err(); err != nil {
+			t.Fatalf("chaos cells failed: %v", err)
+		}
+		var buf bytes.Buffer
+		s.Curves(&buf)
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Fatalf("chaos report differs between -jobs 1 and -jobs 4:\n--- jobs=1\n%s\n--- jobs=4\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "faults cost time, never correctness") {
+		t.Fatalf("report missing verification line:\n%s", seq)
+	}
+}
+
+// Every injected-fault run must still pass result verification, and at an
+// aggressive rate the recovery path must actually fire.
+func TestChaosInjectsAndStillVerifies(t *testing.T) {
+	s, err := RunChaos(chaosOpts(0), faults.Config{Seed: 7}, []float64{0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("verification failed under injection: %v", err)
+	}
+	if s.TotalFaults() == 0 {
+		t.Fatal("rate 0.5 injected no faults")
+	}
+	if s.TotalRecoveries() == 0 {
+		t.Fatal("rate 0.5 triggered no divergence recoveries")
+	}
+	// The fault-free baseline row must be clean even though only rate 0.5
+	// was requested (rate 0 is implicit).
+	rows := s.Rows["CG"]
+	if len(rows) != 2 || rows[0].Rate != 0 || rows[1].Rate != 0.5 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, cfg := range []string{"slip-G0", "slip-G0-dyn"} {
+		if r, ok := rows[0].Results[cfg]; !ok || r.Faults != 0 {
+			t.Fatalf("baseline %s: ok=%v faults=%d", cfg, ok, r.Faults)
+		}
+		if _, ok := rows[1].Results[cfg]; !ok {
+			t.Fatalf("missing injected cell %s", cfg)
+		}
+	}
+}
+
+func TestChaosRejectsBadPlan(t *testing.T) {
+	if _, err := RunChaos(chaosOpts(1), faults.Config{Seed: 1}, []float64{2}, nil); err == nil {
+		t.Fatal("rate 2 accepted")
+	}
+	if _, err := RunChaos(chaosOpts(1), faults.Config{Seed: 1, Classes: []faults.Class{faults.Class(99)}}, nil, nil); err == nil {
+		t.Fatal("class 99 accepted")
+	}
+	bad := chaosOpts(1)
+	bad.Kernels = []string{"nope"}
+	if _, err := RunChaos(bad, faults.Config{Seed: 1}, nil, nil); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}

@@ -83,6 +83,7 @@ type Result struct {
 	Breakdown  stats.Breakdown
 	Class      stats.Class
 	Recoveries uint64
+	Faults     uint64 // faults injected by the run's plan (0 when unarmed)
 }
 
 // runConfig names one execution configuration of the suite.
@@ -134,6 +135,7 @@ func RunOne(k npb.Kernel, name string, cfg omp.Config, scale npb.Scale, verify b
 		Breakdown:  rt.M.TotalBreakdown(),
 		Class:      rt.M.Class,
 		Recoveries: rt.SS.Recoveries(),
+		Faults:     rt.FaultsInjected(),
 	}, nil
 }
 

@@ -1,0 +1,202 @@
+package faults
+
+import (
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("42:0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 || cfg.Rate != 0.05 || len(cfg.Classes) != 0 {
+		t.Fatalf("got %+v", cfg)
+	}
+
+	cfg, err = ParseSpec("7:0.2:token,divergence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Classes) != 2 || cfg.Classes[0] != TokenLoss || cfg.Classes[1] != Divergence {
+		t.Fatalf("classes = %v", cfg.Classes)
+	}
+
+	for _, bad := range []string{"", "42", "x:0.1", "42:nope", "42:1.5", "42:-0.1", "42:0.1:bogus", "1:2:3:4"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	cfg, rates, err := ParseSweep("42:0,0.05,0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 {
+		t.Fatalf("seed = %d", cfg.Seed)
+	}
+	if len(rates) != 3 || rates[0] != 0 || rates[1] != 0.05 || rates[2] != 0.2 {
+		t.Fatalf("rates = %v", rates)
+	}
+	for _, bad := range []string{"42", "42:0.1,bad", "42:0.1,2.0", "x:0.1"} {
+		if _, _, err := ParseSweep(bad); err == nil {
+			t.Errorf("ParseSweep(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClassRoundTrip(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+}
+
+// Same plan, same call sequence, same decisions — the determinism the
+// byte-identical chaos reports rest on.
+func TestDeterministicReplay(t *testing.T) {
+	plan := &Config{Seed: 42, Rate: 0.3}
+	run := func() []uint64 {
+		in := New(plan)
+		var trace []uint64
+		for actor := 0; actor < 4; actor++ {
+			for i := 0; i < 100; i++ {
+				trace = append(trace, uint64(in.MemSpikeLat(actor)))
+				if in.DropToken(actor) {
+					trace = append(trace, 1)
+				}
+				if in.ForceDivergence(actor) {
+					trace = append(trace, 2)
+				}
+				trace = append(trace, uint64(in.BusBurstOcc(actor)))
+				trace = append(trace, uint64(in.NodeSlowdown(actor, 100)))
+				trace = append(trace, uint64(in.ThreadStall(actor, 64)))
+			}
+		}
+		trace = append(trace, in.Total())
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if a[len(a)-1] == 0 {
+		t.Fatal("rate 0.3 over 400 opportunities injected nothing")
+	}
+}
+
+func TestSeedChangesPlan(t *testing.T) {
+	sample := func(seed uint64) (fires int) {
+		in := New(&Config{Seed: seed, Rate: 0.5})
+		for i := 0; i < 200; i++ {
+			if in.DropToken(0) {
+				fires++
+			}
+		}
+		return fires
+	}
+	if sample(1) == sample(2) && func() bool {
+		// Counts colliding is possible; require the actual decision
+		// sequences to differ.
+		a, b := New(&Config{Seed: 1, Rate: 0.5}), New(&Config{Seed: 2, Rate: 0.5})
+		for i := 0; i < 200; i++ {
+			if a.DropToken(0) != b.DropToken(0) {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("seeds 1 and 2 produced identical plans")
+	}
+}
+
+func TestRateZeroAndNilAreQuiet(t *testing.T) {
+	for _, in := range []*Injector{nil, New(nil), New(&Config{Seed: 1, Rate: 0})} {
+		for i := 0; i < 50; i++ {
+			if in.MemSpikeLat(i) != 0 || in.BusBurstOcc(i) != 0 ||
+				in.NodeSlowdown(i, 100) != 0 || in.ThreadStall(i, 10) != 0 ||
+				in.DropToken(i) || in.ForceDivergence(i) {
+				t.Fatal("quiet injector fired")
+			}
+		}
+		if in.Total() != 0 {
+			t.Fatalf("quiet injector counted %d", in.Total())
+		}
+		if in.Summary() != "none" {
+			t.Fatalf("quiet summary = %q", in.Summary())
+		}
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	in := New(&Config{Seed: 9, Rate: 1})
+	for i := 0; i < 10; i++ {
+		if in.MemSpikeLat(0) == 0 || !in.DropToken(0) {
+			t.Fatal("rate 1 did not fire")
+		}
+	}
+	if !in.member(CMPStraggler, 3) {
+		t.Fatal("rate 1 node is not a straggler")
+	}
+}
+
+func TestClassGating(t *testing.T) {
+	in := New(&Config{Seed: 42, Rate: 1, Classes: []Class{TokenLoss}})
+	if in.MemSpikeLat(0) != 0 || in.ForceDivergence(0) {
+		t.Fatal("disabled class fired")
+	}
+	if !in.DropToken(0) {
+		t.Fatal("enabled class did not fire")
+	}
+	if in.Count(TokenLoss) != 1 || in.Total() != 1 {
+		t.Fatalf("counts: token=%d total=%d", in.Count(TokenLoss), in.Total())
+	}
+}
+
+// Straggler membership is stable per actor and counted once.
+func TestMembershipStableAndCountedOnce(t *testing.T) {
+	in := New(&Config{Seed: 42, Rate: 0.5})
+	first := make(map[int]bool)
+	for tid := 0; tid < 16; tid++ {
+		first[tid] = in.ThreadStall(tid, 10) > 0
+	}
+	for round := 0; round < 3; round++ {
+		for tid := 0; tid < 16; tid++ {
+			if (in.ThreadStall(tid, 10) > 0) != first[tid] {
+				t.Fatalf("thread %d changed straggler status", tid)
+			}
+		}
+	}
+	var stragglers uint64
+	for tid := 0; tid < 16; tid++ {
+		if first[tid] {
+			stragglers++
+		}
+	}
+	if stragglers == 0 {
+		t.Fatal("rate 0.5 over 16 threads produced no stragglers")
+	}
+	if got := in.Count(ThreadStraggler); got != stragglers {
+		t.Fatalf("membership counted %d times for %d stragglers", got, stragglers)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Seed: 1, Rate: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Rate: 2}).Validate(); err == nil {
+		t.Fatal("rate 2 accepted")
+	}
+	if err := (Config{Rate: 0.1, Classes: []Class{Class(99)}}).Validate(); err == nil {
+		t.Fatal("class 99 accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/directory"
+	"repro/internal/faults"
 	"repro/internal/shmem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -89,6 +90,11 @@ type Machine struct {
 	Class stats.Class
 	Proto ProtoStats
 	Trace *trace.Buffer // nil unless Params.TraceCap > 0
+
+	// Faults, when non-nil, injects deterministic hardware-level faults
+	// (latency spikes, bus bursts, straggler CMPs) into the timing model.
+	// It never touches data or coherence state: faults cost time only.
+	Faults *faults.Injector
 
 	lineShift uint
 }
@@ -205,11 +211,13 @@ func (m *Machine) CheckCoherence() error {
 
 // ---- Processor operations -------------------------------------------------
 
-// Compute charges n busy cycles of computation.
+// Compute charges n busy cycles of computation. On a straggler node (an
+// armed fault plan's CMP-slowdown class) every computation pays extra.
 func (p *Proc) Compute(n sim.Time) {
 	if n == 0 {
 		return
 	}
+	n += p.Node.M.Faults.NodeSlowdown(p.Node.ID, n)
 	p.Ctx.Advance(n)
 	p.Bd.Add(stats.CatBusy, n)
 }
@@ -337,6 +345,9 @@ func (p *Proc) access(addr shmem.Addr, write, prefetch bool) sim.Time {
 		var fillLat sim.Time
 		l2, fillLat = p.dirFetch(line, write, now)
 		lat += fillLat
+		// Injected memory-latency spike: the fill takes longer (and, via
+		// FillDone below, delays merged accesses), nothing else changes.
+		lat += m.Faults.MemSpikeLat(p.GID)
 		if m.P.TrackClass && p.Pair != nil {
 			l2.FilledBy = p.GID
 			if write {
@@ -442,6 +453,11 @@ func (p *Proc) dirFetch(line uint64, write bool, now sim.Time) (*cache.Line, sim
 	// transaction against a home line — the classic DSM hot-home
 	// bottleneck), and the home memory controller. Occupancy is already
 	// part of the base latency, so only the queueing wait is added.
+	// Injected bus-contention burst: occupy the requester's bus so this
+	// and subsequent transactions queue behind it.
+	if burst := m.Faults.BusBurstOcc(nd.ID); burst > 0 {
+		nd.Bus.Acquire(now, burst)
+	}
 	lat += waitOnly(nd.Bus, now, m.P.Cyc(m.P.BusNS))
 	if !local {
 		lat += waitOnly(nd.NIOut, now, m.P.Cyc(m.P.NIRemoteDCNS))

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/shmem"
 	"repro/internal/stats"
@@ -62,6 +63,13 @@ type Config struct {
 
 	Sched Schedule // default loop schedule
 	Chunk int      // dynamic/guided chunk size (0 = 1, the Omni default)
+
+	// Faults, when non-nil with a positive rate, arms a deterministic
+	// fault plan for the run: machine-level latency faults, forced
+	// divergences and token losses in the slipstream protocol, and
+	// straggler threads in the scheduler. Faults cost time, never
+	// correctness — injected runs still verify.
+	Faults *faults.Config
 }
 
 // job is one published parallel region.
@@ -114,7 +122,15 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Mode == core.ModeSlipstream {
 		cfg.Machine.TrackClass = true
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	m := machine.New(cfg.Machine)
+	// Each run gets its own injector, so concurrent runs of the same plan
+	// stay independent and each is deterministic in isolation.
+	m.Faults = faults.New(cfg.Faults)
 	ss, err := core.NewController(m, cfg.Mode == core.ModeSlipstream, cfg.Env)
 	if err != nil {
 		return nil, err
@@ -163,6 +179,13 @@ func New(cfg Config) (*Runtime, error) {
 // NumThreads returns the OpenMP team size (half the processors in
 // slipstream mode, per paper §3.1 "Thread count/ID").
 func (rt *Runtime) NumThreads() int { return rt.teamSize }
+
+// Faults returns the run's fault injector (nil when no plan is armed; a
+// nil injector is safe to query).
+func (rt *Runtime) Faults() *faults.Injector { return rt.M.Faults }
+
+// FaultsInjected reports how many faults the run's plan injected.
+func (rt *Runtime) FaultsInjected() uint64 { return rt.M.Faults.Total() }
 
 // NewF64 allocates a shared float64 array (untimed: program setup).
 func (rt *Runtime) NewF64(n int) *shmem.F64 {

@@ -61,8 +61,16 @@ func (t *Thread) forStatic(lo, hi int, body func(i int)) {
 }
 
 // runChunk executes iterations, letting A-streams poll for recovery at a
-// coarse stride.
+// coarse stride. A straggler thread (an armed fault plan's thread class)
+// pays a per-iteration stall on every chunk it executes: under static
+// scheduling the whole block is slowed and the team waits at the barrier,
+// while dynamic scheduling migrates work away from the straggler.
 func (t *Thread) runChunk(lo, hi int, body func(i int)) {
+	if !t.isA {
+		if d := t.rt.M.Faults.ThreadStall(t.id, hi-lo); d > 0 {
+			t.P.Wait(d)
+		}
+	}
 	for i := lo; i < hi; i++ {
 		if t.abandoned {
 			return

@@ -21,6 +21,12 @@ import (
 // error and nothing is cached, so the cache only ever holds complete,
 // verified artifacts.
 func (s *Server) execute(ctx context.Context, c *compiledSpec, progress io.Writer) ([]byte, error) {
+	// A context already dead (job timeout, shutdown) fails every kind up
+	// front — including single runs, which cannot observe cancellation
+	// mid-simulation.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var buf bytes.Buffer
 	opts := c.opts
 	opts.Jobs = s.cfg.SuiteJobs
@@ -67,6 +73,17 @@ func (s *Server) execute(ctx context.Context, c *compiledSpec, progress io.Write
 		}
 		experiments.PrintTokenSweep(c.spec.Kernel, rows, &buf)
 
+	case KindChaos:
+		suite, err := experiments.RunChaosCtx(ctx, opts, *c.faults, c.chaosRates, progress)
+		if err != nil {
+			return nil, err
+		}
+		if err := suite.Err(); err != nil {
+			return nil, err
+		}
+		s.metrics.addFaults(suite.TotalFaults(), suite.TotalRecoveries())
+		suite.Curves(&buf)
+
 	case KindCharacterize:
 		rows, err := experiments.CharacterizeCtx(ctx, c.spec.Nodes, synth.DefaultParams(),
 			s.cfg.SuiteJobs, progress)
@@ -97,6 +114,7 @@ func (s *Server) executeRun(c *compiledSpec, buf *bytes.Buffer) ([]byte, error) 
 		SelfInvalidate: c.spec.SelfInvalidate,
 		Sched:          c.sched,
 		Chunk:          c.spec.Chunk,
+		Faults:         c.faults,
 	}
 	if cfg.Chunk == 0 && cfg.Sched != omp.Static {
 		cfg.Chunk = k.ChunkFor(c.scale, p.Nodes)
@@ -111,6 +129,10 @@ func (s *Server) executeRun(c *compiledSpec, buf *bytes.Buffer) ([]byte, error) 
 	fmt.Fprintf(buf, "cycles:     %d (%.3f ms simulated at %.1f GHz)\n",
 		r.Wall, float64(r.Wall)/(p.ClockGHz*1e6), p.ClockGHz)
 	fmt.Fprintf(buf, "breakdown:  %s\n", r.Breakdown.String())
+	if c.faults != nil {
+		s.metrics.addFaults(r.Faults, r.Recoveries)
+		fmt.Fprintf(buf, "faults:     %d injected (plan %s)\n", r.Faults, c.faults.String())
+	}
 	if c.spec.Mode == "slipstream" {
 		fmt.Fprintf(buf, "recoveries: %d\nshared-request classification:\n%s\n", r.Recoveries, r.Class.String())
 	}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives the full submit-side parse/validate/hash pipeline
+// with arbitrary bodies. The contract under fuzz: malformed JSON and
+// absurd specs (huge node or token counts, wild rates) must return an
+// error — never panic, and never produce a spec that compile accepts but
+// cacheKey cannot hash.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		runSpecBody,
+		`{"kind":"static","kernels":["CG","MG"],"nodes":4}`,
+		`{"kind":"scaling","kernel":"CG","node_counts":[2,4,8]}`,
+		`{"kind":"scaling","kernel":"CG","node_counts":[100]}`,
+		`{"kind":"tokens","kernel":"CG","token_counts":[0,1,2]}`,
+		`{"kind":"tokens","kernel":"CG","token_counts":[9999999]}`,
+		`{"kind":"chaos","kernels":["CG"],"faults":{"seed":7,"rates":[0.5]}}`,
+		`{"kind":"run","kernel":"CG","faults":{"seed":1,"rate":0.3,"classes":["token"]}}`,
+		`{"kind":"run","kernel":"CG","tokens":-5}`,
+		`{"kind":"run","kernel":"CG","nodes":1000000000}`,
+		`{"kind":"run","kernel":"CG","params":{"nodes":64}}`,
+		`{"kind":"run","kernel":"CG"} trailing`,
+		`{"faults":{"rate":1e308}}`,
+		`not json`,
+		`{}`,
+		`[]`,
+		`{"kind":`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		spec, err := decodeSpec(strings.NewReader(body))
+		if err != nil {
+			return // rejected cleanly
+		}
+		c, err := compile(spec)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if _, err := c.cacheKey("fuzz"); err != nil {
+			t.Fatalf("compiled spec failed to hash: %v (body %q)", err, body)
+		}
+	})
+}

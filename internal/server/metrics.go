@@ -43,6 +43,11 @@ type metrics struct {
 	submitted   uint64 // POST /jobs accepted
 	deduped     uint64 // submissions coalesced onto an in-flight job
 	runs        uint64 // underlying simulation executions started
+	shed        uint64 // submissions 503'd because the queue was full
+	panics      uint64 // worker panics recovered (job failed, worker lived)
+	timeouts    uint64 // jobs failed by the per-job timeout
+	faultsInj   uint64 // faults injected by fault-plan runs
+	recoveries  uint64 // divergence recoveries observed in fault-plan runs
 	latency     map[string]*histogram
 }
 
@@ -87,6 +92,36 @@ func (m *metrics) runsTotal() uint64 {
 	return m.runs
 }
 
+// requestShed records a submission rejected because the queue was full.
+func (m *metrics) requestShed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shed++
+}
+
+// panicked records a worker panic that was recovered.
+func (m *metrics) panicked() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
+}
+
+// timedOut records a job failed by the per-job timeout.
+func (m *metrics) timedOut() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.timeouts++
+}
+
+// addFaults accumulates a fault-plan run's injected-fault and recovery
+// counts.
+func (m *metrics) addFaults(injected, recovered uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faultsInj += injected
+	m.recoveries += recovered
+}
+
 // observeLatency records a completed run's host wall-clock under a label.
 func (m *metrics) observeLatency(label string, d time.Duration) {
 	m.mu.Lock()
@@ -116,6 +151,26 @@ func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats) {
 	fmt.Fprintln(w, "# HELP slipd_runs_total Underlying simulation executions (cache misses that ran).")
 	fmt.Fprintln(w, "# TYPE slipd_runs_total counter")
 	fmt.Fprintf(w, "slipd_runs_total %d\n", m.runs)
+
+	fmt.Fprintln(w, "# HELP slipd_requests_shed_total Submissions rejected 503 because the job queue was full.")
+	fmt.Fprintln(w, "# TYPE slipd_requests_shed_total counter")
+	fmt.Fprintf(w, "slipd_requests_shed_total %d\n", m.shed)
+
+	fmt.Fprintln(w, "# HELP slipd_panics_total Worker panics recovered (the job failed; the worker survived).")
+	fmt.Fprintln(w, "# TYPE slipd_panics_total counter")
+	fmt.Fprintf(w, "slipd_panics_total %d\n", m.panics)
+
+	fmt.Fprintln(w, "# HELP slipd_timeouts_total Jobs failed by the per-job timeout.")
+	fmt.Fprintln(w, "# TYPE slipd_timeouts_total counter")
+	fmt.Fprintf(w, "slipd_timeouts_total %d\n", m.timeouts)
+
+	fmt.Fprintln(w, "# HELP slipd_faults_injected_total Faults injected by fault-plan and chaos runs.")
+	fmt.Fprintln(w, "# TYPE slipd_faults_injected_total counter")
+	fmt.Fprintf(w, "slipd_faults_injected_total %d\n", m.faultsInj)
+
+	fmt.Fprintln(w, "# HELP slipd_recoveries_total Slipstream divergence recoveries observed in fault-plan and chaos runs.")
+	fmt.Fprintln(w, "# TYPE slipd_recoveries_total counter")
+	fmt.Fprintf(w, "slipd_recoveries_total %d\n", m.recoveries)
 
 	fmt.Fprintln(w, "# HELP slipd_jobs Jobs currently in each state.")
 	fmt.Fprintln(w, "# TYPE slipd_jobs gauge")

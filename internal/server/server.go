@@ -21,8 +21,11 @@ type Config struct {
 	// experiments runner (0 = runner default of GOMAXPROCS).
 	SuiteJobs int
 	// QueueDepth bounds jobs waiting for a worker (default 256); beyond
-	// it POST /jobs returns 503.
+	// it POST /jobs returns 503 with a Retry-After header.
 	QueueDepth int
+	// JobTimeout bounds one job's execution wall clock (0 = no limit). A
+	// job that blows the limit settles as failed; the worker moves on.
+	JobTimeout time.Duration
 	// Version is the code-version component of cache keys (default
 	// CacheKeyVersion). Tests override it to partition cache spaces.
 	Version string
@@ -71,6 +74,9 @@ type Server struct {
 	// invoked by the worker as it picks a job up — the only way to hold a
 	// worker busy deterministically without a sleep.
 	testBeforeRun func(*Job)
+	// testDuringRun runs inside the worker's panic guard, after the job
+	// transitions to running — a hook that panics exercises recovery.
+	testDuringRun func(*Job)
 }
 
 // New builds a Server and starts its workers.
@@ -168,11 +174,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queue <- j:
 	default:
-		// Queue full: roll the registration back and shed load.
+		// Queue full: roll the registration back and shed load. Retry-After
+		// tells well-behaved clients to back off instead of hammering.
 		delete(s.jobs, j.ID)
 		delete(s.inflight, key)
 		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
+		s.metrics.requestShed()
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("job queue is full"))
 		return
 	}
@@ -358,7 +367,19 @@ func (s *Server) runJob(j *Job) {
 	var result []byte
 	start := time.Now()
 	if err == nil {
-		result, err = s.execute(ctx, c, j.broker)
+		execCtx := ctx
+		if s.cfg.JobTimeout > 0 {
+			var tcancel context.CancelFunc
+			execCtx, tcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+			defer tcancel()
+		}
+		result, err = s.executeGuarded(execCtx, c, j)
+		// A blown per-job deadline — not a shutdown or client cancel on
+		// the parent context — settles the job as a timeout.
+		if err != nil && execCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			s.metrics.timedOut()
+			err = fmt.Errorf("job exceeded timeout %s: %v", s.cfg.JobTimeout, err)
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -375,6 +396,22 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.clearInflight(j)
 	j.broker.close()
+}
+
+// executeGuarded runs a compiled spec under the worker's panic guard: a
+// panicking kernel fails its own job instead of killing the worker (and
+// with it a share of the daemon's capacity).
+func (s *Server) executeGuarded(ctx context.Context, c *compiledSpec, j *Job) (result []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panicked()
+			result, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if s.testDuringRun != nil {
+		s.testDuringRun(j)
+	}
+	return s.execute(ctx, c, j.broker)
 }
 
 // clearInflight removes a settled job from the single-flight index (only

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/npb"
 	"repro/internal/omp"
@@ -20,11 +21,13 @@ import (
 // it whenever a change alters simulation results or rendered output for
 // an unchanged spec (new machine parameter, timing-model fix, table
 // format change) — stale cached bytes must stop matching.
-const CacheKeyVersion = "slipd-1"
+// slipd-2: fault injection hooks in the machine/core/omp layers.
+const CacheKeyVersion = "slipd-2"
 
 // Job kinds, mirroring the CLI surface: a single kernel run, the paper's
 // static/dynamic suites, the fixed-size scaling study, the A–R token
-// sweep, and the synthetic-workload characterization.
+// sweep, the synthetic-workload characterization, and the chaos suite
+// (fault-rate sweep with verification forced on).
 const (
 	KindRun          = "run"
 	KindStatic       = "static"
@@ -32,7 +35,21 @@ const (
 	KindScaling      = "scaling"
 	KindTokens       = "tokens"
 	KindCharacterize = "characterize"
+	KindChaos        = "chaos"
 )
+
+// Validation bounds that keep absurd specs from reaching the simulator:
+// machine.New accepts 1..64 nodes, and token/rate sweeps beyond these
+// sizes would only ever be a typo or a fuzzer.
+const (
+	maxNodeCount     = 64
+	maxTokenCount    = 1024
+	maxChaosRates    = 32
+	defaultChaosSeed = 42
+)
+
+// defaultChaosRates is the sweep used when a chaos spec omits rates.
+var defaultChaosRates = []float64{0, 0.01, 0.05, 0.2}
 
 // JobSpec is the POST /jobs request body. String fields use the same
 // vocabulary as the slipsim/sweep CLI flags, parsed by the same shared
@@ -62,10 +79,24 @@ type JobSpec struct {
 	NodeCounts  []int `json:"node_counts,omitempty"`  // kind "scaling"
 	TokenCounts []int `json:"token_counts,omitempty"` // kind "tokens"
 
+	// Faults arms a deterministic fault plan. Kind "run" takes seed, rate,
+	// and classes; kind "chaos" takes seed, rates (the sweep), and classes.
+	// Other kinds reject the block.
+	Faults *FaultSpec `json:"faults,omitempty"`
+
 	// Params optionally overrides the simulated machine, in the canonical
 	// machine.Params encoding (all fields present). Absent = Table 1
 	// defaults.
 	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// FaultSpec is the faults block of a job spec. Seed 0 means the default
+// seed; an empty class list arms every class.
+type FaultSpec struct {
+	Seed    uint64    `json:"seed,omitempty"`
+	Rate    float64   `json:"rate,omitempty"`    // kind "run" only
+	Rates   []float64 `json:"rates,omitempty"`   // kind "chaos" only
+	Classes []string  `json:"classes,omitempty"` // subset of faults.ClassNames()
 }
 
 // compiledSpec is a validated, normalized spec with every string resolved
@@ -77,6 +108,9 @@ type compiledSpec struct {
 	mode  core.Mode
 	sync  core.Config
 	sched omp.Schedule
+
+	faults     *faults.Config // armed plan (nil = no faults); Rate 0 for chaos
+	chaosRates []float64      // kind "chaos": normalized sweep (sorted, 0 included)
 }
 
 // label names the metrics series for this spec: the kernel for
@@ -174,6 +208,9 @@ func compile(s JobSpec) (*compiledSpec, error) {
 		if c.spec.Sync == "" {
 			c.spec.Sync = "GLOBAL_SYNC"
 		}
+		if c.spec.Tokens < 0 || c.spec.Tokens > maxTokenCount {
+			return nil, fmt.Errorf("tokens %d outside [0, %d]", c.spec.Tokens, maxTokenCount)
+		}
 		if c.sync, err = experiments.ParseSync(c.spec.Sync, c.spec.Tokens); err != nil {
 			return nil, err
 		}
@@ -189,6 +226,9 @@ func compile(s JobSpec) (*compiledSpec, error) {
 		if c.spec.Chunk < 0 {
 			return nil, fmt.Errorf("chunk %d invalid", c.spec.Chunk)
 		}
+		if err := c.compileRunFaults(s.Faults); err != nil {
+			return nil, err
+		}
 	case KindStatic, KindDynamic, KindCharacterize:
 		if c.spec.Kernel != "" {
 			return nil, fmt.Errorf("kind %q takes a kernels filter, not kernel", s.Kind)
@@ -197,20 +237,30 @@ func compile(s JobSpec) (*compiledSpec, error) {
 		if err := needKernel(); err != nil {
 			return nil, err
 		}
-		if err := validateCounts(s.NodeCounts, 1, "node_counts"); err != nil {
+		if err := validateCounts(s.NodeCounts, 1, maxNodeCount, "node_counts"); err != nil {
 			return nil, err
 		}
 	case KindTokens:
 		if err := needKernel(); err != nil {
 			return nil, err
 		}
-		if err := validateCounts(s.TokenCounts, 0, "token_counts"); err != nil {
+		if err := validateCounts(s.TokenCounts, 0, maxTokenCount, "token_counts"); err != nil {
+			return nil, err
+		}
+	case KindChaos:
+		if c.spec.Kernel != "" {
+			return nil, fmt.Errorf("kind %q takes a kernels filter, not kernel", s.Kind)
+		}
+		if err := c.compileChaosFaults(s.Faults); err != nil {
 			return nil, err
 		}
 	case "":
-		return nil, fmt.Errorf("missing kind (valid: run, static, dynamic, scaling, tokens, characterize)")
+		return nil, fmt.Errorf("missing kind (valid: run, static, dynamic, scaling, tokens, characterize, chaos)")
 	default:
-		return nil, fmt.Errorf("unknown kind %q (valid: run, static, dynamic, scaling, tokens, characterize)", s.Kind)
+		return nil, fmt.Errorf("unknown kind %q (valid: run, static, dynamic, scaling, tokens, characterize, chaos)", s.Kind)
+	}
+	if s.Faults != nil && s.Kind != KindRun && s.Kind != KindChaos {
+		return nil, fmt.Errorf("kind %q does not take a faults block", s.Kind)
 	}
 
 	// Validate the suite filter eagerly so a bad name 400s at submit.
@@ -225,8 +275,10 @@ func compile(s JobSpec) (*compiledSpec, error) {
 }
 
 // validateCounts applies the same rules as the sweep CLI: at least one
-// value, each at or above min, no duplicates.
-func validateCounts(counts []int, min int, field string) error {
+// value, each inside [min, max], no duplicates. The upper bound keeps
+// absurd counts from reaching machine.New, which enforces its limits by
+// panicking.
+func validateCounts(counts []int, min, max int, field string) error {
 	if len(counts) == 0 {
 		return fmt.Errorf("kind requires non-empty %s", field)
 	}
@@ -234,6 +286,9 @@ func validateCounts(counts []int, min int, field string) error {
 	for _, n := range counts {
 		if n < min {
 			return fmt.Errorf("%s value %d is below the minimum %d", field, n, min)
+		}
+		if n > max {
+			return fmt.Errorf("%s value %d is above the maximum %d", field, n, max)
 		}
 		if seen[n] {
 			return fmt.Errorf("duplicate %s value %d", field, n)
@@ -243,10 +298,114 @@ func validateCounts(counts []int, min int, field string) error {
 	return nil
 }
 
+// compileFaultClasses parses and canonicalizes a class-name list: sorted
+// by class, deduplicated, canonical spellings.
+func compileFaultClasses(names []string) ([]faults.Class, []string, error) {
+	if len(names) == 0 {
+		return nil, nil, nil
+	}
+	seen := map[faults.Class]bool{}
+	var classes []faults.Class
+	for _, name := range names {
+		cl, err := faults.ParseClass(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !seen[cl] {
+			seen[cl] = true
+			classes = append(classes, cl)
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	canon := make([]string, len(classes))
+	for i, cl := range classes {
+		canon[i] = cl.String()
+	}
+	return classes, canon, nil
+}
+
+// compileRunFaults validates and normalizes the faults block of a "run"
+// spec. A rate-zero block normalizes to no block at all, so the two
+// spellings share a cache key.
+func (c *compiledSpec) compileRunFaults(fs *FaultSpec) error {
+	if fs == nil {
+		return nil
+	}
+	if len(fs.Rates) > 0 {
+		return fmt.Errorf("kind %q takes faults.rate, not faults.rates", KindRun)
+	}
+	classes, canon, err := compileFaultClasses(fs.Classes)
+	if err != nil {
+		return err
+	}
+	cfg := faults.Config{Seed: fs.Seed, Rate: fs.Rate, Classes: classes}
+	if cfg.Seed == 0 {
+		cfg.Seed = defaultChaosSeed
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Rate == 0 {
+		c.spec.Faults = nil
+		return nil
+	}
+	c.faults = &cfg
+	c.spec.Faults = &FaultSpec{Seed: cfg.Seed, Rate: cfg.Rate, Classes: canon}
+	return nil
+}
+
+// compileChaosFaults validates and normalizes the faults block of a
+// "chaos" spec: defaults applied, rates sorted, deduplicated, and the
+// fault-free baseline rate 0 included — the same normalization the chaos
+// runner performs, so the canonical spec matches the rendered sweep.
+func (c *compiledSpec) compileChaosFaults(fs *FaultSpec) error {
+	if fs == nil {
+		fs = &FaultSpec{}
+	}
+	if fs.Rate != 0 {
+		return fmt.Errorf("kind %q sweeps faults.rates, not faults.rate", KindChaos)
+	}
+	if len(fs.Rates) > maxChaosRates {
+		return fmt.Errorf("faults.rates has %d entries, maximum %d", len(fs.Rates), maxChaosRates)
+	}
+	classes, canon, err := compileFaultClasses(fs.Classes)
+	if err != nil {
+		return err
+	}
+	cfg := faults.Config{Seed: fs.Seed, Classes: classes}
+	if cfg.Seed == 0 {
+		cfg.Seed = defaultChaosSeed
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	rates := fs.Rates
+	if len(rates) == 0 {
+		rates = defaultChaosRates
+	}
+	seen := map[float64]bool{0: true}
+	norm := []float64{0}
+	for _, r := range rates {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("faults.rates value %g outside [0, 1]", r)
+		}
+		if !seen[r] {
+			seen[r] = true
+			norm = append(norm, r)
+		}
+	}
+	sort.Float64s(norm)
+	c.faults = &cfg
+	c.chaosRates = norm
+	c.spec.Faults = &FaultSpec{Seed: cfg.Seed, Rates: norm, Classes: canon}
+	return nil
+}
+
 // canonKey is the frozen hashing shape (alphabetical field order, no
 // omitempty: absent and zero must hash identically forever).
 type canonKey struct {
 	Chunk       int             `json:"chunk"`
+	Faults      faultsKey       `json:"faults"`
 	Kernel      string          `json:"kernel"`
 	Kind        string          `json:"kind"`
 	Mode        string          `json:"mode"`
@@ -257,6 +416,31 @@ type canonKey struct {
 	TokenCounts []int           `json:"token_counts"`
 	Tokens      int             `json:"tokens"`
 	Version     string          `json:"version"`
+}
+
+// faultsKey is the canonical hashed form of a fault plan. The zero value
+// (no faults) hashes identically whether the block was absent or spelled
+// out with rate 0.
+type faultsKey struct {
+	Classes []string  `json:"classes"`
+	Rate    float64   `json:"rate"`
+	Rates   []float64 `json:"rates"`
+	Seed    uint64    `json:"seed"`
+}
+
+// faultsKeyOf builds the canonical fault member from the compiled plan.
+func (c *compiledSpec) faultsKeyOf() faultsKey {
+	k := faultsKey{Classes: []string{}, Rates: []float64{}}
+	if c.faults == nil {
+		return k
+	}
+	k.Seed = c.faults.Seed
+	k.Rate = c.faults.Rate
+	for _, cl := range c.faults.Classes {
+		k.Classes = append(k.Classes, cl.String())
+	}
+	k.Rates = append(k.Rates, c.chaosRates...)
+	return k
 }
 
 // cacheKey hashes the canonical form of the spec plus the code version.
@@ -273,6 +457,7 @@ func (c *compiledSpec) cacheKey(version string) (string, error) {
 	sort.Ints(tokenCounts)
 	data, err := json.Marshal(canonKey{
 		Chunk:       c.spec.Chunk,
+		Faults:      c.faultsKeyOf(),
 		Kernel:      c.spec.Kernel,
 		Kind:        c.spec.Kind,
 		Mode:        c.spec.Mode,

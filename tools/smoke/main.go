@@ -1,7 +1,8 @@
 // Command smoke is the end-to-end check behind `make smoke`: it starts a
 // real slipd process, submits a CG scaling job over HTTP, asserts the
-// rendered speedup table comes back with a 200, then sends SIGTERM and
-// asserts the daemon drains and exits 0.
+// rendered speedup table comes back with a 200, cancels a running suite
+// job with DELETE and asserts it settles as failed, then sends SIGTERM
+// and asserts the daemon drains and exits 0.
 package main
 
 import (
@@ -99,6 +100,46 @@ func run(bin string) error {
 		return fmt.Errorf("metrics missing slipd_runs_total 1:\n%s", metrics)
 	}
 
+	// Cancellation: DELETE a running job and assert it settles as failed
+	// without wedging the worker or the later drain. A small-scale suite
+	// is slow enough to still be running when the DELETE lands.
+	resp, err = http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"static","kernels":["CG"],"nodes":8,"scale":"small"}`))
+	if err != nil {
+		return err
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("POST suite job = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return fmt.Errorf("decode suite submit response: %w (%s)", err, body)
+	}
+	if err := waitState(base, sr.Job.ID, "running", 30*time.Second); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+sr.Job.ID, nil)
+	if err != nil {
+		return err
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("DELETE running job = %d, want 200", dresp.StatusCode)
+	}
+	state, errMsg, err := waitTerminal(base, sr.Job.ID, 2*time.Minute)
+	if err != nil {
+		return err
+	}
+	if state != "failed" || !strings.Contains(errMsg, "cancel") {
+		return fmt.Errorf("cancelled job settled as %q (error %q), want failed/cancelled", state, errMsg)
+	}
+	fmt.Fprintln(os.Stderr, "smoke: cancelled running job settled as failed")
+
 	// Graceful termination: SIGTERM must drain and exit 0.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
@@ -128,31 +169,68 @@ func waitHealthy(base string, timeout time.Duration) error {
 }
 
 func waitDone(base, id string, timeout time.Duration) error {
+	state, errMsg, err := waitTerminal(base, id, timeout)
+	if err != nil {
+		return err
+	}
+	if state != "done" {
+		return fmt.Errorf("job failed: %s", errMsg)
+	}
+	return nil
+}
+
+// waitState polls until the job reaches the wanted (possibly transient)
+// state. A job that skips past it to a terminal state is an error.
+func waitState(base, id, want string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		body, code, err := get(base + "/jobs/" + id)
+		state, errMsg, err := jobState(base, id)
 		if err != nil {
 			return err
 		}
-		if code != http.StatusOK {
-			return fmt.Errorf("GET /jobs/%s = %d: %s", id, code, body)
-		}
-		var v struct {
-			State string `json:"state"`
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal([]byte(body), &v); err != nil {
-			return err
-		}
-		switch v.State {
-		case "done":
+		if state == want {
 			return nil
-		case "failed":
-			return fmt.Errorf("job failed: %s", v.Error)
+		}
+		if state == "done" || state == "failed" {
+			return fmt.Errorf("job %s reached %q (error %q) before %q", id, state, errMsg, want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s not %s within %s", id, want, timeout)
+}
+
+// waitTerminal polls until the job settles, returning its final state.
+func waitTerminal(base, id string, timeout time.Duration) (state, errMsg string, err error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		state, errMsg, err = jobState(base, id)
+		if err != nil {
+			return "", "", err
+		}
+		if state == "done" || state == "failed" {
+			return state, errMsg, nil
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
-	return fmt.Errorf("job %s not done within %s", id, timeout)
+	return "", "", fmt.Errorf("job %s not terminal within %s", id, timeout)
+}
+
+func jobState(base, id string) (state, errMsg string, err error) {
+	body, code, err := get(base + "/jobs/" + id)
+	if err != nil {
+		return "", "", err
+	}
+	if code != http.StatusOK {
+		return "", "", fmt.Errorf("GET /jobs/%s = %d: %s", id, code, body)
+	}
+	var v struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		return "", "", err
+	}
+	return v.State, v.Error, nil
 }
 
 func get(url string) (string, int, error) {
