@@ -18,13 +18,13 @@ test-short:
 vet:
 	$(GO) vet ./...
 
-# The experiment runner, pool, validate checkup, and slipd server fan work
-# out across goroutines; keep them race-clean. -short skips only the
-# paper-scale shape tests (simulation numbers, no extra concurrency), so
-# every racy path is still exercised and the instrumented run stays
-# within the go test timeout.
+# The experiment runner, pool, validate checkup, slipd server, journal
+# store, and retrying client fan work out across goroutines; keep them
+# race-clean. -short skips only the paper-scale shape tests (simulation
+# numbers, no extra concurrency), so every racy path is still exercised
+# and the instrumented run stays within the go test timeout.
 race:
-	$(GO) test -race -short ./internal/experiments/... ./internal/pool/... ./internal/validate/... ./internal/server/...
+	$(GO) test -race -short ./internal/experiments/... ./internal/pool/... ./internal/validate/... ./internal/server/... ./internal/store/... ./internal/client/...
 
 verify: build test vet race
 
@@ -39,8 +39,10 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzParseEnv -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzPentaSolve -fuzztime 10s ./internal/npb
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/store
 
-# End-to-end: boot a real slipd, drive one job over HTTP, SIGTERM it.
+# End-to-end: boot a real slipd, drive one job over HTTP, cancel one,
+# then SIGKILL it mid-job and assert the restart recovers the journal.
 smoke:
 	mkdir -p bin
 	$(GO) build -o bin/slipd ./cmd/slipd

@@ -5,12 +5,19 @@
 // completed results are served from a content-addressed cache — the
 // simulator is deterministic, so equal specs have equal results.
 //
+// With -data-dir (the default), every job transition is recorded in a
+// write-ahead journal and every result is persisted to a disk-backed
+// content-addressed store, so a crash (SIGKILL, power loss) loses no
+// completed results and requeues whatever was in flight on the next
+// start. Pass -no-persist for the old memory-only behaviour.
+//
 // SIGINT/SIGTERM drains gracefully: in-flight and queued jobs finish
-// (up to -drain), then the process exits 0. See docs/api.md.
+// (up to -drain), the journal is flushed and compacted, then the
+// process exits 0. See docs/api.md.
 //
 // Examples:
 //
-//	slipd -addr :8080 -workers 2
+//	slipd -addr :8080 -workers 2 -data-dir /var/lib/slipd
 //	curl -s localhost:8080/jobs -d '{"kind":"run","kernel":"CG"}'
 package main
 
@@ -29,29 +36,41 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 2, "concurrent jobs")
-		suiteJobs  = flag.Int("suite-jobs", 0, "per-job matrix concurrency (0 = one per CPU)")
-		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (<=0 disables)")
-		queueDepth = flag.Int("queue-depth", 256, "max queued jobs before POST /jobs sheds load")
-		jobTimeout = flag.Duration("job-timeout", 0, "per-job execution wall-clock limit (0 = none)")
-		drain      = flag.Duration("drain", 5*time.Minute, "graceful-shutdown deadline for in-flight jobs")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 2, "concurrent jobs")
+		suiteJobs   = flag.Int("suite-jobs", 0, "per-job matrix concurrency (0 = one per CPU)")
+		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (<=0 disables)")
+		queueDepth  = flag.Int("queue-depth", 256, "max queued jobs before POST /jobs sheds load")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution wall-clock limit (0 = none)")
+		drain       = flag.Duration("drain", 5*time.Minute, "graceful-shutdown deadline for in-flight jobs")
+		dataDir     = flag.String("data-dir", "slipd-data", "directory for the job journal and result store")
+		maxAttempts = flag.Int("max-attempts", 3, "crash-recovery retry budget per job")
+		noPersist   = flag.Bool("no-persist", false, "disable the journal and disk result store (memory only)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *suiteJobs, *cacheBytes, *queueDepth, *jobTimeout, *drain); err != nil {
+	if *noPersist {
+		*dataDir = ""
+	}
+	cfg := server.Config{
+		CacheBytes:  *cacheBytes,
+		Workers:     *workers,
+		SuiteJobs:   *suiteJobs,
+		QueueDepth:  *queueDepth,
+		JobTimeout:  *jobTimeout,
+		DataDir:     *dataDir,
+		MaxAttempts: *maxAttempts,
+	}
+	if err := run(*addr, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "slipd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, suiteJobs int, cacheBytes int64, queueDepth int, jobTimeout, drain time.Duration) error {
-	srv := server.New(server.Config{
-		CacheBytes: cacheBytes,
-		Workers:    workers,
-		SuiteJobs:  suiteJobs,
-		QueueDepth: queueDepth,
-		JobTimeout: jobTimeout,
-	})
+func run(addr string, cfg server.Config, drain time.Duration) error {
+	srv, err := server.Open(cfg)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -66,7 +85,14 @@ func run(addr string, workers, suiteJobs int, cacheBytes int64, queueDepth int, 
 		errCh <- nil
 	}()
 	fmt.Fprintf(os.Stderr, "slipd: listening on %s (%d workers, %d MiB cache)\n",
-		addr, workers, cacheBytes>>20)
+		addr, cfg.Workers, cfg.CacheBytes>>20)
+	if cfg.DataDir == "" {
+		fmt.Fprintln(os.Stderr, "slipd: persistence disabled (memory only)")
+	} else {
+		recovered, requeued := srv.RecoveryStats()
+		fmt.Fprintf(os.Stderr, "slipd: journal replayed from %s (%d jobs recovered, %d requeued)\n",
+			cfg.DataDir, recovered, requeued)
+	}
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,394 @@
+// Package client is a Go client for the slipd HTTP API with the retry
+// discipline a durable server deserves: exponential backoff with jitter
+// on transport errors and 5xx responses, Retry-After honored on 503
+// shed/drain responses, context-aware polling, and resume-by-cache-key —
+// a client that reconnects after a server restart picks its result up
+// from the content-addressed store instead of re-running the job.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrJobNotFound marks a 404 for a job id — after a server restart, ids
+// of jobs whose submission record was lost are gone while their results
+// (if any) survive under the cache key.
+var ErrJobNotFound = errors.New("job not found")
+
+// ErrJobFailed wraps a terminal failure reported by the server.
+var ErrJobFailed = errors.New("job failed")
+
+// Config tunes a Client. Zero values take the documented defaults.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds transient-failure retries per request (default 6).
+	MaxRetries int
+	// BaseBackoff is the first retry delay (default 100ms); it doubles
+	// per retry up to MaxBackoff (default 5s), jittered ±50%.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// PollInterval spaces job-state polls (default 200ms).
+	PollInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 6
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Client talks to one slipd server. Safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// sleep is the delay primitive; tests stub it to record and skip
+	// real waiting.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// New builds a Client for the server at cfg.BaseURL.
+func New(cfg Config) *Client {
+	c := &Client{
+		cfg: cfg.withDefaults(),
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		if d <= 0 {
+			return ctx.Err()
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return c
+}
+
+// Job is the client-side view of a job (the subset of the server's
+// JobView the retry logic needs; unknown fields are ignored).
+type Job struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	Key      string          `json:"key"`
+	Cached   bool            `json:"cached"`
+	Attempts int             `json:"attempts"`
+	Restored bool            `json:"restored"`
+	Error    string          `json:"error"`
+	Spec     json.RawMessage `json:"spec"`
+}
+
+// Terminal reports whether the job has settled.
+func (j *Job) Terminal() bool { return j.State == "done" || j.State == "failed" }
+
+// SubmitResult is the POST /jobs envelope.
+type SubmitResult struct {
+	Job    Job  `json:"job"`
+	Dedup  bool `json:"dedup"`
+	Cached bool `json:"cached"`
+}
+
+// Submit posts a job spec (anything JSON-marshalable; json.RawMessage
+// and []byte pass through verbatim) and returns the server's envelope.
+// Transient failures — connection errors, 5xx, queue-full 503 with
+// Retry-After — are retried; 4xx validation errors are permanent.
+func (c *Client) Submit(ctx context.Context, spec any) (*SubmitResult, error) {
+	body, err := specBody(spec)
+	if err != nil {
+		return nil, err
+	}
+	data, status, err := c.doRetry(ctx, http.MethodPost, "/jobs", body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK && status != http.StatusCreated {
+		return nil, apiError("submit", status, data)
+	}
+	var sr SubmitResult
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return nil, fmt.Errorf("decode submit response: %w", err)
+	}
+	return &sr, nil
+}
+
+// Job fetches one job's current view. Returns ErrJobNotFound on 404.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	data, status, err := c.doRetry(ctx, http.MethodGet, "/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s", ErrJobNotFound, id)
+	}
+	if status != http.StatusOK {
+		return nil, apiError("get job", status, data)
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("decode job: %w", err)
+	}
+	return &j, nil
+}
+
+// Result fetches a done job's rendered bytes. ErrJobNotFound on 404;
+// a 409 (job pending or failed) is a plain error.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	data, status, err := c.doRetry(ctx, http.MethodGet, "/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s", ErrJobNotFound, id)
+	}
+	if status != http.StatusOK {
+		return nil, apiError("get result", status, data)
+	}
+	return data, nil
+}
+
+// ResultByKey fetches a result straight from the server's
+// content-addressed store. The bool reports presence (404 is not an
+// error — the key simply has no bytes yet).
+func (c *Client) ResultByKey(ctx context.Context, key string) ([]byte, bool, error) {
+	data, status, err := c.doRetry(ctx, http.MethodGet, "/results/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch status {
+	case http.StatusOK:
+		return data, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, apiError("get result by key", status, data)
+	}
+}
+
+// Cancel DELETEs a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	data, status, err := c.doRetry(ctx, http.MethodDelete, "/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusNotFound {
+		return fmt.Errorf("%w: %s", ErrJobNotFound, id)
+	}
+	if status != http.StatusOK {
+		return apiError("cancel", status, data)
+	}
+	return nil
+}
+
+// Wait polls until the job settles, honoring ctx. ErrJobNotFound
+// surfaces immediately so callers can resume by key.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.Terminal() {
+			return j, nil
+		}
+		if err := c.sleep(ctx, c.cfg.PollInterval); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Run submits a spec and returns its result bytes, surviving server
+// restarts along the way: if the job id vanishes (the submission record
+// died with the old process), the result is first sought under the
+// content-addressed cache key — same spec, same key, same bytes — and
+// only if the store has nothing is the spec resubmitted.
+func (c *Client) Run(ctx context.Context, spec any) ([]byte, error) {
+	sr, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	id, key := sr.Job.ID, sr.Job.Key
+	for {
+		j, err := c.Wait(ctx, id)
+		if errors.Is(err, ErrJobNotFound) {
+			id, err = c.resume(ctx, spec, key)
+			if err != nil {
+				return nil, err
+			}
+			if id == "" { // resumed straight to bytes
+				b, _, err := c.ResultByKey(ctx, key)
+				return b, err
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if j.State == "failed" {
+			return nil, fmt.Errorf("%w: %s", ErrJobFailed, j.Error)
+		}
+		b, err := c.Result(ctx, id)
+		if errors.Is(err, ErrJobNotFound) {
+			// Restarted between the poll and the fetch; same resume path.
+			if rb, ok, kerr := c.ResultByKey(ctx, key); kerr == nil && ok {
+				return rb, nil
+			}
+			id, err = c.resume(ctx, spec, key)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return b, err
+	}
+}
+
+// resume recovers after a lost job id: prefer the by-key result (empty
+// id return means the bytes are already there), else resubmit.
+func (c *Client) resume(ctx context.Context, spec any, key string) (id string, err error) {
+	if _, ok, err := c.ResultByKey(ctx, key); err == nil && ok {
+		return "", nil
+	}
+	sr, err := c.Submit(ctx, spec)
+	if err != nil {
+		return "", fmt.Errorf("resubmit after server restart: %w", err)
+	}
+	return sr.Job.ID, nil
+}
+
+// doRetry performs one API request with the transient-failure policy:
+// transport errors, 5xx and 503-with-Retry-After are retried under
+// exponential backoff with jitter; everything else returns as-is.
+func (c *Client) doRetry(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		data, status, ra, err := c.do(ctx, method, path, body)
+		delay := time.Duration(-1)
+		switch {
+		case err != nil:
+			lastErr = err
+		case status >= 500:
+			lastErr = apiError(method+" "+path, status, data)
+			if status == http.StatusServiceUnavailable && ra >= 0 {
+				// The server said when to come back; believe it.
+				delay = ra
+			}
+		default:
+			return data, status, nil
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return nil, 0, fmt.Errorf("giving up after %d retries: %w", c.cfg.MaxRetries, lastErr)
+		}
+		if delay < 0 {
+			delay = c.backoff(attempt)
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, 0, err
+		}
+	}
+}
+
+// do performs one HTTP round trip, draining the body so connections
+// reuse cleanly. ra is the parsed Retry-After header in seconds (-1 when
+// absent or unparsable).
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (data []byte, status int, ra time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return nil, 0, -1, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, 0, -1, err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, -1, err
+	}
+	ra = time.Duration(-1)
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, perr := strconv.Atoi(strings.TrimSpace(h)); perr == nil && secs >= 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+	}
+	return data, resp.StatusCode, ra, nil
+}
+
+// backoff computes the jittered exponential delay for a retry attempt.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BaseBackoff << attempt
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	f := 0.5 + c.rng.Float64() // ±50% jitter
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+func specBody(spec any) ([]byte, error) {
+	switch v := spec.(type) {
+	case json.RawMessage:
+		return v, nil
+	case []byte:
+		return v, nil
+	case string:
+		return []byte(v), nil
+	default:
+		return json.Marshal(v)
+	}
+}
+
+func apiError(op string, status int, data []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := string(data)
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return fmt.Errorf("%s: HTTP %d: %s", op, status, strings.TrimSpace(msg))
+}

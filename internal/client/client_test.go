@@ -1,0 +1,265 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// recordedSleeps stubs the client's sleep so tests assert the backoff
+// policy without real waiting.
+func recordedSleeps(c *Client) *[]time.Duration {
+	var mu sync.Mutex
+	sleeps := &[]time.Duration{}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		mu.Lock()
+		*sleeps = append(*sleeps, d)
+		mu.Unlock()
+		return ctx.Err()
+	}
+	return sleeps
+}
+
+func jobJSON(id, state string) string {
+	return fmt.Sprintf(`{"id":%q,"state":%q,"key":"aabbccdd00112233","attempts":1}`, id, state)
+}
+
+func TestSubmitHonorsRetryAfterOn503(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"job queue is full"}`)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"job":%s}`, jobJSON("job-1", "queued"))
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL})
+	sleeps := recordedSleeps(c)
+	sr, err := c.Submit(context.Background(), json.RawMessage(`{"kind":"run","kernel":"CG"}`))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if sr.Job.ID != "job-1" || calls != 3 {
+		t.Fatalf("job %q after %d calls", sr.Job.ID, calls)
+	}
+	if len(*sleeps) != 2 || (*sleeps)[0] != 7*time.Second || (*sleeps)[1] != 7*time.Second {
+		t.Fatalf("sleeps = %v, want two 7s waits from Retry-After", *sleeps)
+	}
+}
+
+func TestSubmitBacksOffExponentiallyOn500(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: 3, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second})
+	sleeps := recordedSleeps(c)
+	_, err := c.Submit(context.Background(), json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 retries") {
+		t.Fatalf("err = %v, want exhaustion", err)
+	}
+	if len(*sleeps) != 3 {
+		t.Fatalf("%d sleeps, want 3", len(*sleeps))
+	}
+	// Jitter is ±50%, so each delay sits in [base<<i / 2, base<<i * 1.5]
+	// and the envelope grows monotonically.
+	for i, d := range *sleeps {
+		lo := (100 * time.Millisecond << i) / 2
+		hi := 100 * time.Millisecond << i * 3 / 2
+		if d < lo || d > hi {
+			t.Fatalf("sleep[%d] = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+func TestSubmit400IsPermanent(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"unknown kind \"nope\""}`)
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL})
+	recordedSleeps(c)
+	_, err := c.Submit(context.Background(), json.RawMessage(`{"kind":"nope"}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("err = %v, want the server's message", err)
+	}
+	if calls != 1 {
+		t.Fatalf("400 was retried (%d calls)", calls)
+	}
+}
+
+func TestSubmitRetriesTransportErrors(t *testing.T) {
+	// A listener that was closed: every dial fails, every failure retries.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+
+	c := New(Config{BaseURL: url, MaxRetries: 2})
+	sleeps := recordedSleeps(c)
+	_, err := c.Submit(context.Background(), json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "giving up after 2 retries") {
+		t.Fatalf("err = %v", err)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("%d sleeps, want 2", len(*sleeps))
+	}
+}
+
+func TestRunResumesByKeyAfterRestart(t *testing.T) {
+	// Script a restart: the submitted job id 404s ever after (the old
+	// process died with the submission record), but the result bytes
+	// are on disk under the cache key.
+	var submits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/jobs":
+			submits++
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprintf(w, `{"job":%s}`, jobJSON("job-1", "queued"))
+		case r.URL.Path == "/jobs/job-1":
+			http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+		case r.URL.Path == "/results/aabbccdd00112233":
+			fmt.Fprint(w, "the table\n")
+		default:
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL})
+	recordedSleeps(c)
+	b, err := c.Run(context.Background(), json.RawMessage(`{"kind":"run","kernel":"CG"}`))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(b) != "the table\n" {
+		t.Fatalf("Run = %q", b)
+	}
+	if submits != 1 {
+		t.Fatalf("%d submissions, want 1 — the key resume must not resubmit", submits)
+	}
+}
+
+func TestRunResubmitsWhenKeyHasNoBytes(t *testing.T) {
+	// Restart lost both the job and (no result yet) the bytes: Run must
+	// resubmit the spec and follow the new job to completion.
+	var submits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/jobs":
+			submits++
+			id := fmt.Sprintf("job-%d", submits)
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprintf(w, `{"job":%s}`, jobJSON(id, "queued"))
+		case r.URL.Path == "/jobs/job-1":
+			http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+		case r.URL.Path == "/jobs/job-2":
+			fmt.Fprint(w, jobJSON("job-2", "done"))
+		case r.URL.Path == "/jobs/job-2/result":
+			fmt.Fprint(w, "rerun table\n")
+		case strings.HasPrefix(r.URL.Path, "/results/"):
+			http.Error(w, `{"error":"no result"}`, http.StatusNotFound)
+		default:
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL})
+	recordedSleeps(c)
+	b, err := c.Run(context.Background(), json.RawMessage(`{"kind":"run","kernel":"CG"}`))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(b) != "rerun table\n" || submits != 2 {
+		t.Fatalf("Run = %q after %d submissions, want rerun after resubmit", b, submits)
+	}
+}
+
+func TestRunReportsFailedJobs(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprintf(w, `{"job":%s}`, jobJSON("job-1", "queued"))
+			return
+		}
+		fmt.Fprint(w, `{"id":"job-1","state":"failed","key":"aabbccdd00112233","error":"panic: kaboom"}`)
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL})
+	recordedSleeps(c)
+	_, err := c.Run(context.Background(), json.RawMessage(`{}`))
+	if !errors.Is(err, ErrJobFailed) || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want ErrJobFailed with the server message", err)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, jobJSON("job-1", "running")) // never terminal
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, PollInterval: time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.Wait(ctx, "job-1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+}
+
+// TestRunAgainstRealServer drives the full client stack against the real
+// slipd core: submit, poll, fetch, and the by-key endpoint.
+func TestRunAgainstRealServer(t *testing.T) {
+	s := server.New(server.Config{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, PollInterval: 10 * time.Millisecond})
+	b, err := c.Run(context.Background(), json.RawMessage(`{"kind":"run","kernel":"CG","nodes":4}`))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !strings.Contains(string(b), "CG") || !strings.Contains(string(b), "cycles:") {
+		t.Fatalf("unexpected result:\n%s", b)
+	}
+
+	// Same spec again: cached, and the key is directly fetchable.
+	sr, err := c.Submit(context.Background(), json.RawMessage(`{"kind":"run","kernel":"CG","nodes":4}`))
+	if err != nil || !sr.Cached {
+		t.Fatalf("resubmit = %+v, %v, want cached", sr, err)
+	}
+	byKey, ok, err := c.ResultByKey(context.Background(), sr.Job.Key)
+	if err != nil || !ok || string(byKey) != string(b) {
+		t.Fatalf("ResultByKey = ok=%v err=%v", ok, err)
+	}
+}

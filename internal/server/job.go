@@ -32,6 +32,8 @@ type Job struct {
 	state    State
 	errMsg   string
 	cached   bool // result served from cache without a run
+	attempts int  // times handed to the queue (1 on first submission)
+	restored bool // rehydrated from the journal at startup
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -44,13 +46,14 @@ type Job struct {
 
 func newJob(id, key string, spec JobSpec, state State) *Job {
 	return &Job{
-		ID:      id,
-		Key:     key,
-		spec:    spec,
-		state:   state,
-		created: time.Now(),
-		broker:  newBroker(),
-		done:    make(chan struct{}),
+		ID:       id,
+		Key:      key,
+		spec:     spec,
+		state:    state,
+		attempts: 1,
+		created:  time.Now(),
+		broker:   newBroker(),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -59,13 +62,15 @@ func (j *Job) snapshot() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:      j.ID,
-		Key:     j.Key,
-		State:   j.state,
-		Error:   j.errMsg,
-		Cached:  j.cached,
-		Created: j.created,
-		Spec:    j.spec,
+		ID:       j.ID,
+		Key:      j.Key,
+		State:    j.state,
+		Error:    j.errMsg,
+		Cached:   j.cached,
+		Attempts: j.attempts,
+		Restored: j.restored,
+		Created:  j.created,
+		Spec:     j.spec,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -161,6 +166,8 @@ type JobView struct {
 	State    State      `json:"state"`
 	Key      string     `json:"key"`
 	Cached   bool       `json:"cached"`
+	Attempts int        `json:"attempts"`
+	Restored bool       `json:"restored,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`

@@ -48,6 +48,10 @@ type metrics struct {
 	timeouts    uint64 // jobs failed by the per-job timeout
 	faultsInj   uint64 // faults injected by fault-plan runs
 	recoveries  uint64 // divergence recoveries observed in fault-plan runs
+	recovered   uint64 // jobs rehydrated from the journal in a terminal state
+	requeued    uint64 // crash-interrupted jobs put back on the queue at startup
+	retries     uint64 // executions of a job beyond its first attempt
+	journalErrs uint64 // journal/store writes that failed (durability degraded)
 	latency     map[string]*histogram
 }
 
@@ -113,6 +117,36 @@ func (m *metrics) timedOut() {
 	m.timeouts++
 }
 
+// jobRestored bumps only the state gauge for a job rehydrated at startup
+// (unlike jobCreated it leaves the submission counter alone: the job was
+// counted by the process that first accepted it).
+func (m *metrics) jobRestored(st State, requeue bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsByState[st]++
+	if requeue {
+		m.requeued++
+	} else {
+		m.recovered++
+	}
+}
+
+// retried records an execution of a job beyond its first attempt.
+func (m *metrics) retried() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retries++
+}
+
+// journalError records a failed journal or result-store write. The
+// daemon keeps serving from memory; durability is degraded, not lost —
+// at worst the next restart re-executes work.
+func (m *metrics) journalError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalErrs++
+}
+
 // addFaults accumulates a fault-plan run's injected-fault and recovery
 // counts.
 func (m *metrics) addFaults(injected, recovered uint64) {
@@ -134,9 +168,18 @@ func (m *metrics) observeLatency(label string, d time.Duration) {
 	h.observe(d.Seconds())
 }
 
+// durabilityStats carries the point-in-time durability gauges into the
+// exposition: journal size and disk-store lookup counters (all zero when
+// the daemon runs without a data dir).
+type durabilityStats struct {
+	JournalBytes int64
+	StoreHits    uint64
+	StoreMisses  uint64
+}
+
 // write renders the exposition. Series are emitted in sorted order so the
 // output is deterministic and diffable.
-func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats) {
+func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durabilityStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -171,6 +214,34 @@ func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats) {
 	fmt.Fprintln(w, "# HELP slipd_recoveries_total Slipstream divergence recoveries observed in fault-plan and chaos runs.")
 	fmt.Fprintln(w, "# TYPE slipd_recoveries_total counter")
 	fmt.Fprintf(w, "slipd_recoveries_total %d\n", m.recoveries)
+
+	fmt.Fprintln(w, "# HELP slipd_jobs_recovered_total Jobs rehydrated from the journal in a terminal state at startup.")
+	fmt.Fprintln(w, "# TYPE slipd_jobs_recovered_total counter")
+	fmt.Fprintf(w, "slipd_jobs_recovered_total %d\n", m.recovered)
+
+	fmt.Fprintln(w, "# HELP slipd_jobs_requeued_total Crash-interrupted jobs put back on the queue at startup.")
+	fmt.Fprintln(w, "# TYPE slipd_jobs_requeued_total counter")
+	fmt.Fprintf(w, "slipd_jobs_requeued_total %d\n", m.requeued)
+
+	fmt.Fprintln(w, "# HELP slipd_retries_total Executions of a job beyond its first attempt.")
+	fmt.Fprintln(w, "# TYPE slipd_retries_total counter")
+	fmt.Fprintf(w, "slipd_retries_total %d\n", m.retries)
+
+	fmt.Fprintln(w, "# HELP slipd_journal_errors_total Failed journal or result-store writes (durability degraded).")
+	fmt.Fprintln(w, "# TYPE slipd_journal_errors_total counter")
+	fmt.Fprintf(w, "slipd_journal_errors_total %d\n", m.journalErrs)
+
+	fmt.Fprintln(w, "# HELP slipd_journal_bytes On-disk size of the write-ahead job journal.")
+	fmt.Fprintln(w, "# TYPE slipd_journal_bytes gauge")
+	fmt.Fprintf(w, "slipd_journal_bytes %d\n", dur.JournalBytes)
+
+	fmt.Fprintln(w, "# HELP slipd_store_hits_total Disk result-store hits (reads served without a run).")
+	fmt.Fprintln(w, "# TYPE slipd_store_hits_total counter")
+	fmt.Fprintf(w, "slipd_store_hits_total %d\n", dur.StoreHits)
+
+	fmt.Fprintln(w, "# HELP slipd_store_misses_total Disk result-store misses.")
+	fmt.Fprintln(w, "# TYPE slipd_store_misses_total counter")
+	fmt.Fprintf(w, "slipd_store_misses_total %d\n", dur.StoreMisses)
 
 	fmt.Fprintln(w, "# HELP slipd_jobs Jobs currently in each state.")
 	fmt.Fprintln(w, "# TYPE slipd_jobs gauge")

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/store"
 )
 
 // Config sizes a Server. Zero values take the documented defaults.
@@ -29,6 +32,18 @@ type Config struct {
 	// Version is the code-version component of cache keys (default
 	// CacheKeyVersion). Tests override it to partition cache spaces.
 	Version string
+	// DataDir roots the durability layer (write-ahead job journal plus
+	// disk-backed result store). Empty = memory-only: a restart loses
+	// queued jobs and cached results.
+	DataDir string
+	// MaxAttempts bounds the crash-recovery retry budget: a job found
+	// queued/running in the journal at startup is requeued until its
+	// attempt count would exceed this, then permanently failed
+	// (default 3).
+	MaxAttempts int
+	// RetryBackoff is the base delay before re-running a crash-recovered
+	// job; it doubles per attempt (default 250ms, capped at 30s).
+	RetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -44,6 +59,12 @@ func (c Config) withDefaults() Config {
 	if c.Version == "" {
 		c.Version = CacheKeyVersion
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -55,6 +76,11 @@ type Server struct {
 	cfg     Config
 	cache   *lruCache
 	metrics *metrics
+
+	// Durability layer, both nil when Config.DataDir is empty.
+	journal *store.Journal
+	store   *store.ResultStore
+	ready   atomic.Bool // journal replay finished; /readyz gates on it
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -79,22 +105,13 @@ type Server struct {
 	testDuringRun func(*Job)
 }
 
-// New builds a Server and starts its workers.
+// New builds a Server and starts its workers. It is the memory-only
+// convenience constructor: with Config.DataDir set, use Open, which can
+// fail on disk errors (New panics on them instead).
 func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:      cfg,
-		cache:    newLRUCache(cfg.CacheBytes),
-		metrics:  newMetrics(),
-		jobs:     map[string]*Job{},
-		inflight: map[string]*Job{},
-		queue:    make(chan *Job, cfg.QueueDepth),
-		quit:     make(chan struct{}),
-	}
-	s.runCtx, s.runCancel = context.WithCancel(context.Background())
-	s.wg.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("server.New: %v (use server.Open for durable configs)", err))
 	}
 	return s
 }
@@ -108,8 +125,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /results/{key}", s.handleResultByKey)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	return mux
 }
@@ -158,12 +177,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Content-addressed cache: determinism means an equal key is an equal
 	// result, so a hit materializes a done job without running anything.
-	if result, ok := s.cache.Get(key); ok {
+	// The lookup is tiered — memory LRU, then the disk result store.
+	if result, ok := s.cacheGet(key); ok {
 		j := s.newJobLocked(key, c.spec, StateDone)
 		j.cached = true
+		j.attempts = 0 // never handed to the queue
 		j.result = result
 		close(j.done)
 		s.metrics.jobCreated(StateDone)
+		// No fsync: losing this record costs a job-listing entry, not a
+		// result — the bytes are already durable under the key.
+		s.journalAppend(store.Record{Job: j.ID, Key: key, State: string(StateDone), Cached: true, Spec: specJSON(c.spec)}, false)
 		view := j.snapshot()
 		s.mu.Unlock()
 		writeJSON(w, http.StatusCreated, submitResponse{Job: view, Cached: true})
@@ -186,6 +210,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.jobCreated(StateQueued)
+	s.journalAppend(store.Record{Job: j.ID, Key: key, State: string(StateQueued), Attempts: 1, Spec: specJSON(c.spec)}, false)
 	view := j.snapshot()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, submitResponse{Job: view})
@@ -301,13 +326,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		s.metrics.jobTransition(StateQueued, StateFailed)
 		s.clearInflight(j)
 		j.broker.close()
+		s.journalAppend(store.Record{Job: j.ID, Key: j.Key, State: journalStateCancelled, Error: "cancelled by client"}, true)
 	}
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, len(s.queue), s.cache.Stats())
+	s.metrics.write(w, len(s.queue), s.cache.Stats(), s.durabilityStats())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -361,7 +387,12 @@ func (s *Server) runJob(j *Job) {
 
 	j.mu.Lock()
 	spec := j.spec
+	attempts := j.attempts
 	j.mu.Unlock()
+	if attempts > 1 {
+		s.metrics.retried()
+	}
+	s.journalAppend(store.Record{Job: j.ID, Key: j.Key, State: string(StateRunning), Attempts: attempts}, false)
 	c, err := compile(spec)
 
 	var result []byte
@@ -384,12 +415,17 @@ func (s *Server) runJob(j *Job) {
 	elapsed := time.Since(start)
 
 	if err == nil {
-		s.cache.Put(j.Key, result)
+		// Order matters across a crash: persist the bytes, then journal
+		// the terminal state (fsync'd). A done record therefore always
+		// has its result on disk; the reverse gap only costs a re-run.
+		s.cachePut(j.Key, result)
 		j.finish(result, "")
 		s.metrics.jobTransition(StateRunning, StateDone)
+		s.journalAppend(store.Record{Job: j.ID, Key: j.Key, State: string(StateDone), Attempts: attempts}, true)
 	} else {
 		j.finish(nil, err.Error())
 		s.metrics.jobTransition(StateRunning, StateFailed)
+		s.journalAppend(store.Record{Job: j.ID, Key: j.Key, State: string(StateFailed), Error: err.Error(), Attempts: attempts}, true)
 	}
 	if c != nil {
 		s.metrics.observeLatency(c.label(), elapsed)
@@ -446,10 +482,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closePersistence()
 		return nil
 	case <-ctx.Done():
 		s.runCancel() // abort in-flight cells; workers then settle quickly
 		<-done
+		s.closePersistence()
 		return ctx.Err()
 	}
 }

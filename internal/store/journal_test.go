@@ -1,0 +1,206 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, maxSeg int64) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(dir, maxSeg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, recs
+}
+
+func mustAppend(t *testing.T, j *Journal, r Record, sync bool) {
+	t.Helper()
+	if err := j.Append(r, sync); err != nil {
+		t.Fatalf("Append(%+v): %v", r, err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := openT(t, dir, 0)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	spec := json.RawMessage(`{"kind":"run","kernel":"CG"}`)
+	mustAppend(t, j, Record{Job: "job-1", Key: "aa11", State: "queued", Attempts: 1, Spec: spec}, false)
+	mustAppend(t, j, Record{Job: "job-2", Key: "bb22", State: "queued", Attempts: 1, Spec: spec}, false)
+	mustAppend(t, j, Record{Job: "job-1", State: "running", Attempts: 1}, false)
+	mustAppend(t, j, Record{Job: "job-1", State: "done", Attempts: 1}, true)
+	mustAppend(t, j, Record{Job: "job-2", State: "failed", Error: "boom", Attempts: 1}, true)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, recs = openT(t, dir, 0)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d folded records, want 2: %+v", len(recs), recs)
+	}
+	// First-seen order, latest state, spec and key preserved through
+	// transition records that omitted them.
+	if recs[0].Job != "job-1" || recs[0].State != "done" || recs[0].Key != "aa11" || string(recs[0].Spec) != string(spec) {
+		t.Fatalf("job-1 folded wrong: %+v", recs[0])
+	}
+	if recs[1].Job != "job-2" || recs[1].State != "failed" || recs[1].Error != "boom" {
+		t.Fatalf("job-2 folded wrong: %+v", recs[1])
+	}
+}
+
+func TestJournalTruncatedTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, 0)
+	mustAppend(t, j, Record{Job: "job-1", State: "queued", Attempts: 1}, false)
+	mustAppend(t, j, Record{Job: "job-2", State: "queued", Attempts: 1}, true)
+	j.Close()
+
+	seg := filepath.Join(dir, "journal-000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-frame: the second record loses its tail.
+	if err := os.WriteFile(seg, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := openT(t, dir, 0)
+	if len(recs) != 1 || recs[0].Job != "job-1" {
+		t.Fatalf("replay after truncation = %+v, want just job-1", recs)
+	}
+	// The corrupt tail was cut off, so a new append replays cleanly.
+	mustAppend(t, j2, Record{Job: "job-3", State: "queued", Attempts: 1}, true)
+	j2.Close()
+	_, recs = openT(t, dir, 0)
+	if len(recs) != 2 || recs[1].Job != "job-3" {
+		t.Fatalf("replay after post-truncation append = %+v, want job-1 and job-3", recs)
+	}
+}
+
+func TestJournalChecksumFlipStopsAtLastGood(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, 0)
+	mustAppend(t, j, Record{Job: "job-1", State: "queued", Attempts: 1}, false)
+	mustAppend(t, j, Record{Job: "job-2", State: "queued", Attempts: 1}, false)
+	mustAppend(t, j, Record{Job: "job-3", State: "queued", Attempts: 1}, true)
+	j.Close()
+
+	seg := filepath.Join(dir, "journal-000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the middle record.
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, dir, 0)
+	if len(recs) == 0 || len(recs) >= 3 {
+		t.Fatalf("replay after bit flip = %d records, want 1 or 2 (stop at corruption)", len(recs))
+	}
+	for _, r := range recs {
+		if r.Job == "job-3" {
+			t.Fatalf("record past the corruption replayed: %+v", recs)
+		}
+	}
+}
+
+func TestJournalInterleavedGarbage(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, 0)
+	mustAppend(t, j, Record{Job: "job-1", State: "done", Attempts: 1}, true)
+	j.Close()
+
+	seg := filepath.Join(dir, "journal-000001.wal")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("not a frame at all\n\x00\x01\x02garbage")
+	f.Close()
+
+	_, recs := openT(t, dir, 0)
+	if len(recs) != 1 || recs[0].Job != "job-1" {
+		t.Fatalf("replay with trailing garbage = %+v, want just job-1", recs)
+	}
+}
+
+func TestJournalRotationCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, 512) // tiny segments force rotation
+	spec := json.RawMessage(`{"kind":"run","kernel":"CG","nodes":4}`)
+	mustAppend(t, j, Record{Job: "job-1", Key: "cc33", State: "queued", Attempts: 1, Spec: spec}, false)
+	for i := 0; i < 50; i++ {
+		st := "running"
+		if i%2 == 1 {
+			st = "queued"
+		}
+		mustAppend(t, j, Record{Job: "job-1", State: st, Attempts: 1}, false)
+	}
+	mustAppend(t, j, Record{Job: "job-1", State: "done", Attempts: 1}, true)
+
+	// Rotation compacted 50+ transitions to one folded record; the
+	// on-disk size must be far below the raw transition volume.
+	if sz := j.Size(); sz > 1024 {
+		t.Fatalf("journal size %d after compaction, want <= 1024", sz)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries after rotation, want exactly 1 live segment: %v", len(entries), entries)
+	}
+	j.Close()
+
+	_, recs := openT(t, dir, 0)
+	if len(recs) != 1 || recs[0].State != "done" || string(recs[0].Spec) != string(spec) || recs[0].Key != "cc33" {
+		t.Fatalf("replay after rotation = %+v, want folded done record with spec and key", recs)
+	}
+}
+
+func TestJournalExplicitCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, 0)
+	for i := 0; i < 10; i++ {
+		mustAppend(t, j, Record{Job: "job-1", State: "running", Attempts: 1}, false)
+	}
+	before := j.Size()
+	if err := j.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if after := j.Size(); after >= before {
+		t.Fatalf("Compact did not shrink the journal: %d -> %d", before, after)
+	}
+	_, recs := openT(t, dir, 0)
+	if len(recs) != 1 {
+		t.Fatalf("replay after compact = %+v", recs)
+	}
+}
+
+func TestJournalClosedAppendFails(t *testing.T) {
+	j, _ := openT(t, t.TempDir(), 0)
+	j.Close()
+	if err := j.Append(Record{Job: "job-1", State: "queued"}, false); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestMergeKeepsSpecAndMaxAttempts(t *testing.T) {
+	spec := json.RawMessage(`{"kind":"run"}`)
+	got := merge(
+		Record{Job: "j", Key: "k", State: "queued", Attempts: 3, Spec: spec},
+		Record{Job: "j", State: "running", Attempts: 1},
+	)
+	if got.State != "running" || got.Attempts != 3 || got.Key != "k" || string(got.Spec) != string(spec) {
+		t.Fatalf("merge = %+v", got)
+	}
+}

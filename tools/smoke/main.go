@@ -1,8 +1,13 @@
-// Command smoke is the end-to-end check behind `make smoke`: it starts a
-// real slipd process, submits a CG scaling job over HTTP, asserts the
-// rendered speedup table comes back with a 200, cancels a running suite
-// job with DELETE and asserts it settles as failed, then sends SIGTERM
-// and asserts the daemon drains and exits 0.
+// Command smoke is the end-to-end check behind `make smoke`. Phase one
+// starts a memory-only slipd, submits a CG scaling job over HTTP,
+// asserts the rendered speedup table comes back with a 200, cancels a
+// running suite job with DELETE and asserts it settles as failed, then
+// sends SIGTERM and asserts the daemon drains and exits 0. Phase two is
+// the crash-recovery drill: a persistent slipd is SIGKILLed mid-job,
+// restarted on the same -data-dir, and must requeue the interrupted job
+// (producing byte-identical output to an uninterrupted run), serve the
+// already-done job from disk without re-executing it, and — after a
+// clean SIGTERM — restart with zero requeues.
 package main
 
 import (
@@ -18,6 +23,13 @@ import (
 	"time"
 )
 
+// fastSpec finishes in seconds; slowSpec runs long enough that a signal
+// reliably lands while it is still executing.
+const (
+	fastSpec = `{"kind":"scaling","kernel":"CG","node_counts":[2,4],"scale":"test"}`
+	slowSpec = `{"kind":"static","kernels":["CG"],"nodes":8,"scale":"small"}`
+)
+
 func main() {
 	bin := "bin/slipd"
 	if len(os.Args) > 1 {
@@ -27,27 +39,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smoke: FAILED:", err)
 		os.Exit(1)
 	}
+	if err := crashRecovery(bin); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAILED:", err)
+		os.Exit(1)
+	}
 	fmt.Println("smoke: PASSED")
 }
 
 func run(bin string) error {
-	// Grab a free port; the tiny window between closing the probe
-	// listener and slipd binding it is acceptable for a smoke test.
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	cmd, base, err := startSlipd(bin, "-no-persist")
 	if err != nil {
 		return err
 	}
-	addr := l.Addr().String()
-	l.Close()
-
-	cmd := exec.Command(bin, "-addr", addr, "-workers", "1", "-drain", "2m")
-	cmd.Stdout = os.Stderr
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		return fmt.Errorf("start %s: %w", bin, err)
-	}
 	defer cmd.Process.Kill()
-	base := "http://" + addr
 
 	if err := waitHealthy(base, 10*time.Second); err != nil {
 		return err
@@ -55,30 +59,15 @@ func run(bin string) error {
 
 	// One CG fixed-size scaling study at test scale: small enough to run
 	// in seconds, and its result is a real speedup table.
-	resp, err := http.Post(base+"/jobs", "application/json",
-		strings.NewReader(`{"kind":"scaling","kernel":"CG","node_counts":[2,4],"scale":"test"}`))
+	id, _, _, err := submit(base, fastSpec)
 	if err != nil {
 		return err
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("POST /jobs = %d: %s", resp.StatusCode, body)
-	}
-	var sr struct {
-		Job struct {
-			ID string `json:"id"`
-		} `json:"job"`
-	}
-	if err := json.Unmarshal(body, &sr); err != nil {
-		return fmt.Errorf("decode submit response: %w (%s)", err, body)
-	}
-
-	if err := waitDone(base, sr.Job.ID, 2*time.Minute); err != nil {
+	if err := waitDone(base, id, 2*time.Minute); err != nil {
 		return err
 	}
 
-	result, code, err := get(base + "/jobs/" + sr.Job.ID + "/result")
+	result, code, err := get(base + "/jobs/" + id + "/result")
 	if err != nil {
 		return err
 	}
@@ -103,23 +92,14 @@ func run(bin string) error {
 	// Cancellation: DELETE a running job and assert it settles as failed
 	// without wedging the worker or the later drain. A small-scale suite
 	// is slow enough to still be running when the DELETE lands.
-	resp, err = http.Post(base+"/jobs", "application/json",
-		strings.NewReader(`{"kind":"static","kernels":["CG"],"nodes":8,"scale":"small"}`))
+	id, _, _, err = submit(base, slowSpec)
 	if err != nil {
 		return err
 	}
-	body, _ = io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("POST suite job = %d: %s", resp.StatusCode, body)
-	}
-	if err := json.Unmarshal(body, &sr); err != nil {
-		return fmt.Errorf("decode suite submit response: %w (%s)", err, body)
-	}
-	if err := waitState(base, sr.Job.ID, "running", 30*time.Second); err != nil {
+	if err := waitState(base, id, "running", 30*time.Second); err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+sr.Job.ID, nil)
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
 	if err != nil {
 		return err
 	}
@@ -131,16 +111,214 @@ func run(bin string) error {
 	if dresp.StatusCode != http.StatusOK {
 		return fmt.Errorf("DELETE running job = %d, want 200", dresp.StatusCode)
 	}
-	state, errMsg, err := waitTerminal(base, sr.Job.ID, 2*time.Minute)
+	v, err := waitTerminal(base, id, 2*time.Minute)
 	if err != nil {
 		return err
 	}
-	if state != "failed" || !strings.Contains(errMsg, "cancel") {
-		return fmt.Errorf("cancelled job settled as %q (error %q), want failed/cancelled", state, errMsg)
+	if v.State != "failed" || !strings.Contains(v.Error, "cancel") {
+		return fmt.Errorf("cancelled job settled as %q (error %q), want failed/cancelled", v.State, v.Error)
 	}
 	fmt.Fprintln(os.Stderr, "smoke: cancelled running job settled as failed")
 
-	// Graceful termination: SIGTERM must drain and exit 0.
+	return stopGracefully(cmd)
+}
+
+// crashRecovery is the durability drill: SIGKILL a persistent slipd
+// mid-job and assert the restart recovers everything the journal
+// promised.
+func crashRecovery(bin string) error {
+	// Reference bytes from an uninterrupted run on a throwaway
+	// memory-only instance: the recovered run must match these exactly.
+	ref, err := referenceRun(bin)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+
+	dataDir, err := os.MkdirTemp("", "slipd-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	// Instance A: complete one fast job, then get SIGKILLed while the
+	// slow one is running.
+	cmdA, baseA, err := startSlipd(bin, "-data-dir", dataDir)
+	if err != nil {
+		return err
+	}
+	defer cmdA.Process.Kill()
+	if err := waitReady(baseA, 10*time.Second); err != nil {
+		return err
+	}
+	fastID, fastKey, _, err := submit(baseA, fastSpec)
+	if err != nil {
+		return err
+	}
+	if err := waitDone(baseA, fastID, 2*time.Minute); err != nil {
+		return err
+	}
+	fastRef, code, err := get(baseA + "/jobs/" + fastID + "/result")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("GET fast result = %d", code)
+	}
+	slowID, _, _, err := submit(baseA, slowSpec)
+	if err != nil {
+		return err
+	}
+	if err := waitState(baseA, slowID, "running", 30*time.Second); err != nil {
+		return err
+	}
+	if err := cmdA.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		return err
+	}
+	cmdA.Wait()
+	fmt.Fprintf(os.Stderr, "smoke: SIGKILLed slipd while %s was running\n", slowID)
+
+	// Instance B: same data dir. Replay must requeue the interrupted job
+	// under the same id and finish it with the reference bytes, and must
+	// serve the fast job's result from disk without re-executing it.
+	cmdB, baseB, err := startSlipd(bin, "-data-dir", dataDir)
+	if err != nil {
+		return err
+	}
+	defer cmdB.Process.Kill()
+	if err := waitReady(baseB, 10*time.Second); err != nil {
+		return err
+	}
+	v, err := jobView(baseB, slowID)
+	if err != nil {
+		return fmt.Errorf("interrupted job after restart: %w", err)
+	}
+	if !v.Restored || v.Attempts != 2 {
+		return fmt.Errorf("interrupted job = restored=%v attempts=%d, want restored attempts=2", v.Restored, v.Attempts)
+	}
+	if err := waitDone(baseB, slowID, 3*time.Minute); err != nil {
+		return fmt.Errorf("requeued job: %w", err)
+	}
+	recovered, code, err := get(baseB + "/jobs/" + slowID + "/result")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("GET recovered result = %d", code)
+	}
+	if recovered != ref {
+		return fmt.Errorf("recovered run differs from uninterrupted run:\n--- recovered ---\n%s--- reference ---\n%s", recovered, ref)
+	}
+	fmt.Fprintln(os.Stderr, "smoke: requeued job produced byte-identical output")
+
+	_, _, cached, err := submit(baseB, fastSpec)
+	if err != nil {
+		return err
+	}
+	if !cached {
+		return fmt.Errorf("resubmitted fast spec was not served from the result store")
+	}
+	byKey, code, err := get(baseB + "/results/" + fastKey)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || byKey != fastRef {
+		return fmt.Errorf("GET /results/%s = %d, bytes match=%v", fastKey, code, byKey == fastRef)
+	}
+	metrics, _, err := get(baseB + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"slipd_jobs_requeued_total 1",
+		"slipd_jobs_recovered_total 1",
+		"slipd_runs_total 1", // only the requeued job ran; the fast one came off disk
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("metrics missing %q after recovery:\n%s", want, metrics)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "smoke: done job served from disk, recovery metrics correct")
+	if err := stopGracefully(cmdB); err != nil {
+		return err
+	}
+
+	// Instance C: after a clean SIGTERM drain the journal holds only
+	// terminal records, so this restart must recover everything and
+	// requeue nothing.
+	cmdC, baseC, err := startSlipd(bin, "-data-dir", dataDir)
+	if err != nil {
+		return err
+	}
+	defer cmdC.Process.Kill()
+	if err := waitReady(baseC, 10*time.Second); err != nil {
+		return err
+	}
+	metrics, _, err = get(baseC + "/metrics")
+	if err != nil {
+		return err
+	}
+	// Three terminal jobs in the journal: the fast run, the recovered
+	// slow run, and the cached resubmission from instance B.
+	if !strings.Contains(metrics, "slipd_jobs_requeued_total 0") ||
+		!strings.Contains(metrics, "slipd_jobs_recovered_total 3") {
+		return fmt.Errorf("clean restart requeued work:\n%s", metrics)
+	}
+	fmt.Fprintln(os.Stderr, "smoke: clean restart recovered 3 jobs, requeued 0")
+	return stopGracefully(cmdC)
+}
+
+// referenceRun executes slowSpec to completion on a memory-only
+// instance and returns the rendered result.
+func referenceRun(bin string) (string, error) {
+	cmd, base, err := startSlipd(bin, "-no-persist")
+	if err != nil {
+		return "", err
+	}
+	defer cmd.Process.Kill()
+	if err := waitHealthy(base, 10*time.Second); err != nil {
+		return "", err
+	}
+	id, _, _, err := submit(base, slowSpec)
+	if err != nil {
+		return "", err
+	}
+	if err := waitDone(base, id, 3*time.Minute); err != nil {
+		return "", err
+	}
+	result, code, err := get(base + "/jobs/" + id + "/result")
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", fmt.Errorf("GET result = %d", code)
+	}
+	return result, stopGracefully(cmd)
+}
+
+// startSlipd launches the daemon on a free port and returns the running
+// process plus its base URL.
+func startSlipd(bin string, extra ...string) (*exec.Cmd, string, error) {
+	// Grab a free port; the tiny window between closing the probe
+	// listener and slipd binding it is acceptable for a smoke test.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	args := append([]string{"-addr", addr, "-workers", "1", "-drain", "2m"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("start %s: %w", bin, err)
+	}
+	return cmd, "http://" + addr, nil
+}
+
+// stopGracefully SIGTERMs the daemon and requires a clean drain.
+func stopGracefully(cmd *exec.Cmd) error {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
@@ -157,24 +335,58 @@ func run(bin string) error {
 	return nil
 }
 
+// submit POSTs a spec and returns the new job's id, cache key, and
+// whether it was served from the result cache.
+func submit(base, spec string) (id, key string, cached bool, err error) {
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return "", "", false, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", "", false, fmt.Errorf("POST /jobs = %d: %s", resp.StatusCode, body)
+	}
+	var sr struct {
+		Job struct {
+			ID  string `json:"id"`
+			Key string `json:"key"`
+		} `json:"job"`
+		Cached bool `json:"cached"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return "", "", false, fmt.Errorf("decode submit response: %w (%s)", err, body)
+	}
+	return sr.Job.ID, sr.Job.Key, sr.Cached, nil
+}
+
 func waitHealthy(base string, timeout time.Duration) error {
+	return waitProbe(base+"/healthz", timeout)
+}
+
+// waitReady polls /readyz, which only turns 200 after journal replay.
+func waitReady(base string, timeout time.Duration) error {
+	return waitProbe(base+"/readyz", timeout)
+}
+
+func waitProbe(url string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if _, code, err := get(base + "/healthz"); err == nil && code == http.StatusOK {
+		if _, code, err := get(url); err == nil && code == http.StatusOK {
 			return nil
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
-	return fmt.Errorf("slipd not healthy within %s", timeout)
+	return fmt.Errorf("%s not 200 within %s", url, timeout)
 }
 
 func waitDone(base, id string, timeout time.Duration) error {
-	state, errMsg, err := waitTerminal(base, id, timeout)
+	v, err := waitTerminal(base, id, timeout)
 	if err != nil {
 		return err
 	}
-	if state != "done" {
-		return fmt.Errorf("job failed: %s", errMsg)
+	if v.State != "done" {
+		return fmt.Errorf("job failed: %s", v.Error)
 	}
 	return nil
 }
@@ -184,53 +396,57 @@ func waitDone(base, id string, timeout time.Duration) error {
 func waitState(base, id, want string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		state, errMsg, err := jobState(base, id)
+		v, err := jobView(base, id)
 		if err != nil {
 			return err
 		}
-		if state == want {
+		if v.State == want {
 			return nil
 		}
-		if state == "done" || state == "failed" {
-			return fmt.Errorf("job %s reached %q (error %q) before %q", id, state, errMsg, want)
+		if v.State == "done" || v.State == "failed" {
+			return fmt.Errorf("job %s reached %q (error %q) before %q", id, v.State, v.Error, want)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
 	return fmt.Errorf("job %s not %s within %s", id, want, timeout)
 }
 
-// waitTerminal polls until the job settles, returning its final state.
-func waitTerminal(base, id string, timeout time.Duration) (state, errMsg string, err error) {
+// waitTerminal polls until the job settles, returning its final view.
+func waitTerminal(base, id string, timeout time.Duration) (view, error) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		state, errMsg, err = jobState(base, id)
+		v, err := jobView(base, id)
 		if err != nil {
-			return "", "", err
+			return view{}, err
 		}
-		if state == "done" || state == "failed" {
-			return state, errMsg, nil
+		if v.State == "done" || v.State == "failed" {
+			return v, nil
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
-	return "", "", fmt.Errorf("job %s not terminal within %s", id, timeout)
+	return view{}, fmt.Errorf("job %s not terminal within %s", id, timeout)
 }
 
-func jobState(base, id string) (state, errMsg string, err error) {
+type view struct {
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Attempts int    `json:"attempts"`
+	Restored bool   `json:"restored"`
+}
+
+func jobView(base, id string) (view, error) {
 	body, code, err := get(base + "/jobs/" + id)
 	if err != nil {
-		return "", "", err
+		return view{}, err
 	}
 	if code != http.StatusOK {
-		return "", "", fmt.Errorf("GET /jobs/%s = %d: %s", id, code, body)
+		return view{}, fmt.Errorf("GET /jobs/%s = %d: %s", id, code, body)
 	}
-	var v struct {
-		State string `json:"state"`
-		Error string `json:"error"`
-	}
+	var v view
 	if err := json.Unmarshal([]byte(body), &v); err != nil {
-		return "", "", err
+		return view{}, err
 	}
-	return v.State, v.Error, nil
+	return v, nil
 }
 
 func get(url string) (string, int, error) {
