@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race verify bench smoke fuzz
+.PHONY: build test test-short vet race verify bench smoke smoke-fleet fuzz
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,13 @@ vet:
 	$(GO) vet ./...
 
 # The experiment runner, pool, validate checkup, slipd server, journal
-# store, and retrying client fan work out across goroutines; keep them
-# race-clean. -short skips only the paper-scale shape tests (simulation
-# numbers, no extra concurrency), so every racy path is still exercised
-# and the instrumented run stays within the go test timeout.
+# store, retrying client, and fleet coordinator fan work out across
+# goroutines; keep them race-clean. -short skips only the paper-scale
+# shape tests (simulation numbers, no extra concurrency), so every racy
+# path is still exercised and the instrumented run stays within the go
+# test timeout.
 race:
-	$(GO) test -race -short ./internal/experiments/... ./internal/pool/... ./internal/validate/... ./internal/server/... ./internal/store/... ./internal/client/...
+	$(GO) test -race -short ./internal/experiments/... ./internal/pool/... ./internal/validate/... ./internal/server/... ./internal/store/... ./internal/client/... ./internal/cluster/...
 
 verify: build test vet race
 
@@ -40,6 +41,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseEnv -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzPentaSolve -fuzztime 10s ./internal/npb
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzClusterWire -fuzztime 10s ./internal/cluster
 
 # End-to-end: boot a real slipd, drive one job over HTTP, cancel one,
 # then SIGKILL it mid-job and assert the restart recovers the journal.
@@ -47,3 +49,11 @@ smoke:
 	mkdir -p bin
 	$(GO) build -o bin/slipd ./cmd/slipd
 	$(GO) run ./tools/smoke bin/slipd
+
+# Fleet drill: coordinator + 2 workers, SIGKILL the worker mid-job and
+# require the survivor to finish it byte-identically; then a zero-worker
+# coordinator must execute locally in degraded mode.
+smoke-fleet:
+	mkdir -p bin
+	$(GO) build -o bin/slipd ./cmd/slipd
+	$(GO) run ./tools/smokefleet bin/slipd

@@ -11,6 +11,16 @@
 // completed results and requeues whatever was in flight on the next
 // start. Pass -no-persist for the old memory-only behaviour.
 //
+// Fleet mode: -coordinator turns a slipd into the fleet front door — it
+// keeps the client-facing API and dispatches execution to workers that
+// joined with -worker -join <coordinator-url>. Workers heartbeat their
+// load; a worker that goes silent is marked suspect, then dead, and its
+// in-flight jobs fail over to survivors. Stragglers are hedged with a
+// second copy on another worker, first result wins — determinism and
+// content addressing make every duplicate execution byte-identical.
+// With zero live workers the coordinator executes jobs locally and sets
+// "degraded":true on /readyz.
+//
 // SIGINT/SIGTERM drains gracefully: in-flight and queued jobs finish
 // (up to -drain), the journal is flushed and compacted, then the
 // process exits 0. See docs/api.md.
@@ -18,6 +28,8 @@
 // Examples:
 //
 //	slipd -addr :8080 -workers 2 -data-dir /var/lib/slipd
+//	slipd -addr :8080 -coordinator
+//	slipd -addr :8081 -worker -join http://localhost:8080 -data-dir w1
 //	curl -s localhost:8080/jobs -d '{"kind":"run","kernel":"CG"}'
 package main
 
@@ -28,9 +40,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -44,12 +58,30 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution wall-clock limit (0 = none)")
 		drain       = flag.Duration("drain", 5*time.Minute, "graceful-shutdown deadline for in-flight jobs")
 		dataDir     = flag.String("data-dir", "slipd-data", "directory for the job journal and result store")
-		maxAttempts = flag.Int("max-attempts", 3, "crash-recovery retry budget per job")
+		maxAttempts = flag.Int("max-attempts", 3, "crash-recovery retry budget per job (also bounds fleet failovers per job)")
 		noPersist   = flag.Bool("no-persist", false, "disable the journal and disk result store (memory only)")
+
+		coordinator = flag.Bool("coordinator", false, "run as fleet coordinator: dispatch jobs to joined workers")
+		workerMode  = flag.Bool("worker", false, "run as fleet worker: execute jobs dispatched by a coordinator")
+		join        = flag.String("join", "", "coordinator base URL a -worker registers with")
+		advertise   = flag.String("advertise", "", "base URL the coordinator should dispatch to (default: derived from -addr)")
+		workerID    = flag.String("worker-id", "", "stable worker identity (default: host:port of -advertise)")
+		hbInterval  = flag.Duration("heartbeat-interval", time.Second, "coordinator: heartbeat cadence told to workers")
+		suspectAft  = flag.Duration("suspect-after", 0, "coordinator: silence before a worker turns suspect (default 3× heartbeat)")
+		deadAfter   = flag.Duration("dead-after", 0, "coordinator: silence before a worker is dead and its jobs fail over (default 10× heartbeat)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "coordinator: fixed straggler threshold for hedged dispatch (0 = p95-driven)")
 	)
 	flag.Parse()
 	if *noPersist {
 		*dataDir = ""
+	}
+	if *coordinator && *workerMode {
+		fmt.Fprintln(os.Stderr, "slipd: -coordinator and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if *workerMode && *join == "" {
+		fmt.Fprintln(os.Stderr, "slipd: -worker requires -join <coordinator-url>")
+		os.Exit(2)
 	}
 	cfg := server.Config{
 		CacheBytes:  *cacheBytes,
@@ -60,18 +92,76 @@ func main() {
 		DataDir:     *dataDir,
 		MaxAttempts: *maxAttempts,
 	}
-	if err := run(*addr, cfg, *drain); err != nil {
+	fleet := fleetConfig{
+		coordinator: *coordinator,
+		worker:      *workerMode,
+		join:        *join,
+		advertise:   *advertise,
+		workerID:    *workerID,
+		heartbeat:   *hbInterval,
+		suspect:     *suspectAft,
+		dead:        *deadAfter,
+		hedge:       *hedgeAfter,
+	}
+	if err := run(*addr, cfg, fleet, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "slipd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg server.Config, drain time.Duration) error {
+// fleetConfig carries the -coordinator/-worker wiring options.
+type fleetConfig struct {
+	coordinator bool
+	worker      bool
+	join        string
+	advertise   string
+	workerID    string
+	heartbeat   time.Duration
+	suspect     time.Duration
+	dead        time.Duration
+	hedge       time.Duration
+}
+
+// deriveAdvertise turns a listen address like ":8081" into a URL a
+// coordinator on the same host can dispatch to.
+func deriveAdvertise(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+func run(addr string, cfg server.Config, fleet fleetConfig, drain time.Duration) error {
+	var co *cluster.Coordinator
+	if fleet.coordinator {
+		co = cluster.NewCoordinator(cluster.Config{
+			HeartbeatInterval: fleet.heartbeat,
+			SuspectAfter:      fleet.suspect,
+			DeadAfter:         fleet.dead,
+			HedgeAfter:        fleet.hedge,
+			MaxAttempts:       cfg.MaxAttempts,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "slipd: "+format+"\n", args...)
+			},
+		})
+		defer co.Close()
+		cfg.Cluster = co
+	}
+
 	srv, err := server.Open(cfg)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	mux := http.NewServeMux()
+	if co != nil {
+		mux.Handle("/cluster/", co.Handler())
+	}
+	if fleet.worker {
+		mux.Handle("/cluster/dispatch", cluster.WorkerHandler(srv))
+	}
+	mux.Handle("/", srv.Handler())
+	httpSrv := &http.Server{Addr: addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -93,13 +183,52 @@ func run(addr string, cfg server.Config, drain time.Duration) error {
 		fmt.Fprintf(os.Stderr, "slipd: journal replayed from %s (%d jobs recovered, %d requeued)\n",
 			cfg.DataDir, recovered, requeued)
 	}
+	if co != nil {
+		fmt.Fprintln(os.Stderr, "slipd: coordinator mode — waiting for workers to join at /cluster/register")
+	}
+
+	var agent *cluster.Agent
+	if fleet.worker {
+		adv := fleet.advertise
+		if adv == "" {
+			adv = deriveAdvertise(addr)
+		}
+		id := fleet.workerID
+		if id == "" {
+			id = strings.TrimPrefix(strings.TrimPrefix(adv, "http://"), "https://")
+		}
+		agent, err = cluster.StartAgent(cluster.AgentConfig{
+			Coordinator: strings.TrimRight(fleet.join, "/"),
+			ID:          id,
+			Advertise:   adv,
+			Capacity:    cfg.Workers,
+			Load:        srv.Load,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "slipd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			httpSrv.Close()
+			return fmt.Errorf("join fleet: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "slipd: worker mode — joining %s as %s (advertising %s)\n", fleet.join, id, adv)
+	}
 
 	select {
 	case err := <-errCh:
+		if agent != nil {
+			agent.Stop()
+		}
 		return err
 	case <-ctx.Done():
 	}
 	stop() // a second signal now kills the process the default way
+
+	// Leave the fleet first so the coordinator stops dispatching here
+	// while we drain.
+	if agent != nil {
+		agent.Stop()
+	}
 
 	fmt.Fprintf(os.Stderr, "slipd: draining (deadline %s)\n", drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)

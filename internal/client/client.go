@@ -1,9 +1,11 @@
 // Package client is a Go client for the slipd HTTP API with the retry
 // discipline a durable server deserves: exponential backoff with jitter
 // on transport errors and 5xx responses, Retry-After honored on 503
-// shed/drain responses, context-aware polling, and resume-by-cache-key —
-// a client that reconnects after a server restart picks its result up
-// from the content-addressed store instead of re-running the job.
+// shed/drain responses, context-aware polling, endpoint failover across
+// a list of coordinator replicas, and resume-by-cache-key — a client
+// that reconnects after a server (or coordinator) restart picks its
+// result up from the content-addressed store instead of re-running the
+// job.
 package client
 
 import (
@@ -33,6 +35,12 @@ var ErrJobFailed = errors.New("job failed")
 type Config struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
+	// Endpoints lists coordinator base URLs for client-side failover; it
+	// supersedes BaseURL when non-empty (BaseURL is shorthand for a
+	// single-entry list). After a transport error or 5xx the client
+	// rotates to the next endpoint before retrying, so a fleet fronted
+	// by more than one coordinator keeps answering while one is down.
+	Endpoints []string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
 	// MaxRetries bounds transient-failure retries per request (default 6).
@@ -43,10 +51,26 @@ type Config struct {
 	MaxBackoff  time.Duration
 	// PollInterval spaces job-state polls (default 200ms).
 	PollInterval time.Duration
+	// Jitter returns the backoff jitter factor's random component in
+	// [0, 1); the default is a time-seeded source. Tests inject a
+	// constant to make retry schedules deterministic.
+	Jitter func() float64
+	// Sleep is the delay primitive (default: a timer that aborts the
+	// moment ctx is cancelled). Tests inject a recorder to assert the
+	// backoff policy without real waiting.
+	Sleep func(ctx context.Context, d time.Duration) error
 }
 
 func (c Config) withDefaults() Config {
-	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if len(c.Endpoints) == 0 {
+		c.Endpoints = []string{c.BaseURL}
+	}
+	for i, ep := range c.Endpoints {
+		c.Endpoints[i] = strings.TrimRight(ep, "/")
+	}
+	if len(c.Endpoints) > 0 {
+		c.BaseURL = c.Endpoints[0]
+	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = http.DefaultClient
 	}
@@ -65,38 +89,66 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Client talks to one slipd server. Safe for concurrent use.
+// Client talks to a slipd server (or a list of coordinator replicas).
+// Safe for concurrent use.
 type Client struct {
 	cfg Config
 
 	mu  sync.Mutex
 	rng *rand.Rand
+	cur int // index into cfg.Endpoints currently in use
 
 	// sleep is the delay primitive; tests stub it to record and skip
 	// real waiting.
 	sleep func(ctx context.Context, d time.Duration) error
 }
 
-// New builds a Client for the server at cfg.BaseURL.
+// New builds a Client for the server at cfg.BaseURL (or the coordinator
+// list in cfg.Endpoints).
 func New(cfg Config) *Client {
 	c := &Client{
 		cfg: cfg.withDefaults(),
 		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-	c.sleep = func(ctx context.Context, d time.Duration) error {
-		if d <= 0 {
-			return ctx.Err()
-		}
-		t := time.NewTimer(d)
-		defer t.Stop()
-		select {
-		case <-t.C:
-			return nil
-		case <-ctx.Done():
-			return ctx.Err()
+	c.sleep = c.cfg.Sleep
+	if c.sleep == nil {
+		c.sleep = func(ctx context.Context, d time.Duration) error {
+			// Checked first so a backoff never sleeps — not even one
+			// jittered tick — once the caller has cancelled.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if d <= 0 {
+				return nil
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
 	}
 	return c
+}
+
+// endpoint returns the base URL currently in use.
+func (c *Client) endpoint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Endpoints[c.cur]
+}
+
+// rotate advances to the next endpoint after a failure (no-op with a
+// single endpoint).
+func (c *Client) rotate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.cfg.Endpoints) > 1 {
+		c.cur = (c.cur + 1) % len(c.cfg.Endpoints)
+	}
 }
 
 // Job is the client-side view of a job (the subset of the server's
@@ -289,9 +341,18 @@ func (c *Client) resume(ctx context.Context, spec any, key string) (id string, e
 	return sr.Job.ID, nil
 }
 
+// Do performs one API request under the client's full retry and
+// failover policy and returns the response body and status. It is the
+// building block the typed methods share, exported for callers (the
+// cluster dispatcher) that speak endpoints this package has no verb for.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+	return c.doRetry(ctx, method, path, body)
+}
+
 // doRetry performs one API request with the transient-failure policy:
 // transport errors, 5xx and 503-with-Retry-After are retried under
-// exponential backoff with jitter; everything else returns as-is.
+// exponential backoff with jitter; everything else returns as-is. Each
+// failed attempt also rotates to the next configured endpoint.
 func (c *Client) doRetry(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -312,6 +373,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte) 
 		default:
 			return data, status, nil
 		}
+		c.rotate()
 		if attempt >= c.cfg.MaxRetries {
 			return nil, 0, fmt.Errorf("giving up after %d retries: %w", c.cfg.MaxRetries, lastErr)
 		}
@@ -332,7 +394,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (data
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.endpoint()+path, rd)
 	if err != nil {
 		return nil, 0, -1, err
 	}
@@ -363,10 +425,15 @@ func (c *Client) backoff(attempt int) time.Duration {
 	if d > c.cfg.MaxBackoff || d <= 0 {
 		d = c.cfg.MaxBackoff
 	}
-	c.mu.Lock()
-	f := 0.5 + c.rng.Float64() // ±50% jitter
-	c.mu.Unlock()
-	return time.Duration(float64(d) * f)
+	var r float64
+	if c.cfg.Jitter != nil {
+		r = c.cfg.Jitter()
+	} else {
+		c.mu.Lock()
+		r = c.rng.Float64()
+		c.mu.Unlock()
+	}
+	return time.Duration(float64(d) * (0.5 + r)) // ±50% jitter
 }
 
 func specBody(spec any) ([]byte, error) {

@@ -1,0 +1,141 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministicWithInjectedJitter pins the exact retry
+// schedule: with Jitter returning 0.5 the ±50% jitter factor is exactly
+// 1.0, so the delays are the pure exponential series.
+func TestBackoffDeterministicWithInjectedJitter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	c := New(Config{
+		BaseURL:     ts.URL,
+		MaxRetries:  3,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		Jitter:      func() float64 { return 0.5 },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			mu.Lock()
+			sleeps = append(sleeps, d)
+			mu.Unlock()
+			return ctx.Err()
+		},
+	})
+	if _, err := c.Submit(context.Background(), json.RawMessage(`{}`)); err == nil {
+		t.Fatal("Submit against a 500 server succeeded")
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("sleep[%d] = %s, want %s (schedule must be deterministic under injected jitter)", i, sleeps[i], want[i])
+		}
+	}
+}
+
+// TestDefaultSleepHonorsCancelledContext is the regression guard for the
+// backoff bugfix: once the caller has cancelled, the default sleep must
+// return immediately — never serve even one jittered tick.
+func TestDefaultSleepHonorsCancelledContext(t *testing.T) {
+	c := New(Config{BaseURL: "http://127.0.0.1:1"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	start := time.Now()
+	err := c.sleep(ctx, time.Hour)
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("cancelled sleep took %s, want immediate return", elapsed)
+	}
+	if err != context.Canceled {
+		t.Fatalf("cancelled sleep returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRetryStopsImmediatelyOnCancel cancels mid-retry-loop and asserts
+// the client neither sleeps again nor issues another request.
+func TestRetryStopsImmediatelyOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		cancel() // the caller gives up while the server is failing
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var slept []time.Duration
+	c := New(Config{
+		BaseURL: ts.URL,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if _, err := c.Submit(ctx, json.RawMessage(`{}`)); err == nil {
+		t.Fatal("Submit succeeded after cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("%d requests after cancellation, want exactly 1", calls)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("client slept %v after cancellation, want none", slept)
+	}
+}
+
+// TestEndpointFailover points the client at a dead coordinator first: a
+// transport failure rotates to the live replica and the request lands.
+func TestEndpointFailover(t *testing.T) {
+	// A listener we open and immediately close: a guaranteed-dead address.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := "http://" + l.Addr().String()
+	l.Close()
+
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, jobJSON("job-1", "done"))
+	}))
+	defer live.Close()
+
+	c := New(Config{
+		Endpoints: []string{deadAddr, live.URL},
+		Sleep:     func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	})
+	j, err := c.Job(context.Background(), "job-1")
+	if err != nil {
+		t.Fatalf("Job with one dead endpoint: %v", err)
+	}
+	if j.ID != "job-1" || j.State != "done" {
+		t.Fatalf("job = %+v", j)
+	}
+	// The rotation sticks: the next request goes straight to the live
+	// replica with no failed attempt first.
+	if c.endpoint() != strings.TrimRight(live.URL, "/") {
+		t.Fatalf("current endpoint = %s, want the live replica", c.endpoint())
+	}
+}

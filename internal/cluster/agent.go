@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// AgentConfig tunes a worker's membership agent.
+type AgentConfig struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// ID names this worker in the fleet; Advertise is the base URL the
+	// coordinator should dispatch to.
+	ID        string
+	Advertise string
+	// Capacity is how many jobs this worker runs concurrently.
+	Capacity int
+	// Load reports the worker's current queue and running counts; it is
+	// sampled at every heartbeat.
+	Load func() (queued, running int)
+	// Interval is the heartbeat cadence used until the coordinator's
+	// register ack overrides it (default 1s).
+	Interval time.Duration
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Agent keeps a worker enrolled in the fleet: it registers with the
+// coordinator, heartbeats its load, and re-registers whenever the
+// coordinator stops recognizing it (restart, or a dead verdict after a
+// long stall). All failures are retried forever — a worker's job is to
+// keep knocking until the coordinator answers.
+type Agent struct {
+	cfg  AgentConfig
+	quit chan struct{}
+	done chan struct{}
+}
+
+// StartAgent validates the config and starts the membership loop.
+func StartAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("agent: coordinator URL required")
+	}
+	if cfg.Load == nil {
+		return nil, fmt.Errorf("agent: Load callback required")
+	}
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	reg := Register{ID: cfg.ID, Addr: cfg.Advertise, Capacity: cfg.Capacity}
+	if err := reg.Validate(); err != nil {
+		return nil, fmt.Errorf("agent: %w", err)
+	}
+	a := &Agent{cfg: cfg, quit: make(chan struct{}), done: make(chan struct{})}
+	go a.loop(reg)
+	return a, nil
+}
+
+// Stop ends the membership loop and waits for it to exit.
+func (a *Agent) Stop() {
+	close(a.quit)
+	<-a.done
+}
+
+func (a *Agent) loop(reg Register) {
+	defer close(a.done)
+	interval := a.cfg.Interval
+	registered := false
+	for {
+		if !registered {
+			var ack RegisterAck
+			if err := a.post("/cluster/register", reg, &ack); err != nil {
+				a.cfg.Logf("agent: register with %s failed: %v", a.cfg.Coordinator, err)
+			} else if ack.OK {
+				registered = true
+				if ack.HeartbeatMillis > 0 {
+					interval = time.Duration(ack.HeartbeatMillis) * time.Millisecond
+				}
+				a.cfg.Logf("agent: registered as %s with %s (heartbeat %s)", a.cfg.ID, a.cfg.Coordinator, interval)
+			}
+		} else {
+			queued, running := a.cfg.Load()
+			hb := Heartbeat{ID: a.cfg.ID, Queued: queued, Running: running, Capacity: a.cfg.Capacity}
+			var ack HeartbeatAck
+			if err := a.post("/cluster/heartbeat", hb, &ack); err != nil {
+				a.cfg.Logf("agent: heartbeat failed: %v", err)
+			} else if !ack.Registered {
+				// Coordinator restarted or declared us dead; re-enroll.
+				a.cfg.Logf("agent: coordinator no longer knows us; re-registering")
+				registered = false
+				continue // register immediately, don't wait a beat
+			}
+		}
+		select {
+		case <-a.quit:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// post sends one JSON request to the coordinator and decodes the ack.
+// Plain one-shot HTTP: the loop itself is the retry mechanism.
+func (a *Agent) post(path string, msg, ack any) error {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxWireLen))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, ack)
+}

@@ -1,0 +1,422 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// Config tunes a Coordinator. Zero values take the documented defaults.
+type Config struct {
+	// HeartbeatInterval is the cadence workers are told to beat at
+	// (default 1s). The sweep loop runs at the same cadence.
+	HeartbeatInterval time.Duration
+	// SuspectAfter marks a silent worker suspect (default 3×interval);
+	// DeadAfter declares it dead and fails over its in-flight jobs
+	// (default 10×interval).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// MaxAttempts bounds how many workers a single job may be launched on,
+	// counting the first dispatch, failover re-dispatches, and hedges
+	// (default 3). Determinism makes every extra copy safe; the budget
+	// just bounds the work.
+	MaxAttempts int
+	// HedgeAfter, when positive, is a fixed straggler threshold: any
+	// dispatch running longer launches a second copy. When zero the
+	// threshold is data-driven — the HedgePercentile (default 0.95) of
+	// recent completion latencies for the same job label, times 1.5 — and
+	// no hedging happens until enough completions have been observed.
+	HedgeAfter      time.Duration
+	HedgePercentile float64
+	// PollInterval spaces job-state polls against a worker (default 200ms).
+	PollInterval time.Duration
+	// DispatchRetries bounds per-request transport retries against one
+	// worker before it is considered lost (default 2; failover is the
+	// real retry mechanism, so this stays small).
+	DispatchRetries int
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Now is the clock (default time.Now); tests inject a fake to drive
+	// the failure detector without waiting.
+	Now func() time.Time
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * c.HeartbeatInterval
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 10 * c.HeartbeatInterval
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.HedgePercentile <= 0 || c.HedgePercentile >= 1 {
+		c.HedgePercentile = 0.95
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 200 * time.Millisecond
+	}
+	if c.DispatchRetries <= 0 {
+		c.DispatchRetries = 2
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Coordinator is the fleet brain: it keeps the worker registry, answers
+// the /cluster/* API, and implements server.Cluster so a slipd server
+// can plug it in as its dispatch backend.
+type Coordinator struct {
+	cfg Config
+	reg *Registry
+	lat *latencyTracker
+
+	failovers     uint64 // atomics
+	hedgesStarted uint64
+	hedgesWon     uint64
+
+	clients sync.Map // worker addr → *client.Client
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator builds a Coordinator and starts its failure-detection
+// sweep loop. Close it when done.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	co := &Coordinator{
+		cfg:  cfg,
+		reg:  newRegistry(cfg.SuspectAfter, cfg.DeadAfter, cfg.Now),
+		lat:  newLatencyTracker(cfg.HedgePercentile),
+		quit: make(chan struct{}),
+	}
+	co.wg.Add(1)
+	go co.sweepLoop()
+	return co
+}
+
+// Close stops the sweep loop.
+func (co *Coordinator) Close() {
+	close(co.quit)
+	co.wg.Wait()
+}
+
+func (co *Coordinator) sweepLoop() {
+	defer co.wg.Done()
+	t := time.NewTicker(co.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.quit:
+			return
+		case <-t.C:
+			for _, id := range co.reg.sweep() {
+				co.cfg.Logf("cluster: worker %s declared dead (no heartbeat for %s)", id, co.cfg.DeadAfter)
+			}
+		}
+	}
+}
+
+// Stats implements server.Cluster.
+func (co *Coordinator) Stats() server.ClusterStats {
+	live, suspect, dead := co.reg.counts()
+	return server.ClusterStats{
+		Live:          live,
+		Suspect:       suspect,
+		Dead:          dead,
+		Failovers:     atomic.LoadUint64(&co.failovers),
+		HedgesStarted: atomic.LoadUint64(&co.hedgesStarted),
+		HedgesWon:     atomic.LoadUint64(&co.hedgesWon),
+		Degraded:      live+suspect == 0,
+	}
+}
+
+// Handler serves the worker-facing cluster API:
+//
+//	POST /cluster/register  — a worker announces itself
+//	POST /cluster/heartbeat — periodic liveness-and-load report
+//	GET  /cluster/workers   — fleet view for operators and smoke tests
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/register", func(w http.ResponseWriter, r *http.Request) {
+		m, err := DecodeRegister(r.Body)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		co.reg.register(m)
+		co.cfg.Logf("cluster: worker %s registered at %s (capacity %d)", m.ID, m.Addr, m.Capacity)
+		writeClusterJSON(w, http.StatusOK, RegisterAck{OK: true, HeartbeatMillis: co.cfg.HeartbeatInterval.Milliseconds()})
+	})
+	mux.HandleFunc("POST /cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		m, err := DecodeHeartbeat(r.Body)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, HeartbeatAck{Registered: co.reg.heartbeat(m)})
+	})
+	mux.HandleFunc("GET /cluster/workers", func(w http.ResponseWriter, r *http.Request) {
+		writeClusterJSON(w, http.StatusOK, map[string]any{
+			"workers":  co.reg.views(),
+			"degraded": co.Stats().Degraded,
+		})
+	})
+	return mux
+}
+
+// attemptResult is one worker's answer to one dispatched copy of a job.
+type attemptResult struct {
+	w       *workerHandle
+	hedge   bool
+	bytes   []byte
+	err     error
+	perm    bool // permanent: deterministic failure or version skew — no worker will do better
+	elapsed time.Duration
+}
+
+// Dispatch implements server.Cluster: run the job on the least-loaded
+// worker, fail over to survivors if the worker dies mid-job, hedge a
+// straggler with a second copy, first result wins. Returns
+// server.ErrNoWorkers when nobody can take the job (the server then
+// executes it locally in degraded mode).
+func (co *Coordinator) Dispatch(ctx context.Context, key, label string, spec server.JobSpec, progress io.Writer) ([]byte, error) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("marshal spec for dispatch: %w", err)
+	}
+	body, err := json.Marshal(Dispatch{Key: key, Label: label, Spec: specJSON})
+	if err != nil {
+		return nil, fmt.Errorf("marshal dispatch: %w", err)
+	}
+
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel() // stops losing copies once a winner lands
+
+	results := make(chan attemptResult, co.cfg.MaxAttempts) // buffered: losers never block
+	tried := map[string]bool{}                              // workers a copy has been launched on
+	inflight, launches := 0, 0
+
+	launch := func(hedge bool) *workerHandle {
+		if launches >= co.cfg.MaxAttempts {
+			return nil
+		}
+		w := co.reg.pick(tried)
+		if w == nil {
+			return nil
+		}
+		tried[w.id] = true
+		co.reg.assign(w, key)
+		inflight++
+		launches++
+		start := co.cfg.Now()
+		go func() {
+			bytes, perm, err := co.runOn(dctx, w, key, body)
+			results <- attemptResult{w: w, hedge: hedge, bytes: bytes, err: err, perm: perm, elapsed: co.cfg.Now().Sub(start)}
+		}()
+		return w
+	}
+
+	w := launch(false)
+	if w == nil {
+		return nil, server.ErrNoWorkers
+	}
+	fmt.Fprintf(progress, "cluster: dispatched to worker %s\n", w.id)
+
+	// Arm the hedge timer if we have a straggler threshold for this label.
+	var hedgeC <-chan time.Time
+	if th, ok := co.hedgeThreshold(label); ok {
+		t := time.NewTimer(th)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+
+		case <-hedgeC:
+			hedgeC = nil // at most one hedge per dispatch
+			if hw := launch(true); hw != nil {
+				atomic.AddUint64(&co.hedgesStarted, 1)
+				fmt.Fprintf(progress, "cluster: straggler — hedging on worker %s\n", hw.id)
+			}
+
+		case r := <-results:
+			inflight--
+			co.reg.release(r.w, key)
+			if r.err == nil {
+				co.lat.observe(label, r.elapsed)
+				if r.hedge {
+					atomic.AddUint64(&co.hedgesWon, 1)
+					fmt.Fprintf(progress, "cluster: hedge on worker %s won\n", r.w.id)
+				}
+				return r.bytes, nil
+			}
+			if r.perm {
+				// Deterministic failure: the job fails identically on every
+				// worker, so retrying elsewhere only burns budget.
+				return nil, r.err
+			}
+			lastErr = r.err
+			co.cfg.Logf("cluster: %v", r.err)
+			fmt.Fprintf(progress, "cluster: %v\n", r.err)
+			if fw := launch(false); fw != nil {
+				atomic.AddUint64(&co.failovers, 1)
+				fmt.Fprintf(progress, "cluster: failed over to worker %s\n", fw.id)
+			} else if inflight == 0 {
+				if launches >= co.cfg.MaxAttempts {
+					return nil, fmt.Errorf("dispatch budget exhausted after %d workers: %w", launches, lastErr)
+				}
+				// No survivor left to try; let the server run it locally.
+				return nil, server.ErrNoWorkers
+			}
+		}
+	}
+}
+
+// runOn executes one copy of a job on one worker: hand the spec over,
+// poll until terminal, fetch the bytes. perm=true marks failures no
+// other worker can fix (deterministic job failure, version skew);
+// perm=false failures mean "this worker is lost, try another".
+func (co *Coordinator) runOn(ctx context.Context, w *workerHandle, key string, body []byte) (result []byte, perm bool, err error) {
+	cl := co.clientFor(w.addr)
+	data, status, err := cl.Do(ctx, http.MethodPost, "/cluster/dispatch", body)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		return nil, false, fmt.Errorf("worker %s unreachable: %w", w.id, err)
+	}
+	switch status {
+	case http.StatusOK, http.StatusCreated:
+	case http.StatusConflict:
+		return nil, true, fmt.Errorf("worker %s refused dispatch (version skew): %s", w.id, strings.TrimSpace(string(data)))
+	default:
+		return nil, true, fmt.Errorf("worker %s rejected dispatch: HTTP %d: %s", w.id, status, strings.TrimSpace(string(data)))
+	}
+	var env struct {
+		Job struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+			Error string `json:"error"`
+		} `json:"job"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, false, fmt.Errorf("worker %s: malformed dispatch response: %v", w.id, err)
+	}
+
+	id := env.Job.ID
+	state, errMsg := env.Job.State, env.Job.Error
+	for {
+		switch state {
+		case "done":
+			b, rerr := cl.Result(ctx, id)
+			if rerr != nil {
+				if ctx.Err() != nil {
+					return nil, false, ctx.Err()
+				}
+				return nil, false, fmt.Errorf("worker %s lost result for job %s: %v", w.id, id, rerr)
+			}
+			return b, false, nil
+		case "failed":
+			return nil, true, fmt.Errorf("job failed on worker %s: %s", w.id, errMsg)
+		}
+
+		select {
+		case <-ctx.Done():
+			co.cancelRemote(w.addr, id) // best-effort: don't burn a worker slot on an abandoned job
+			return nil, false, ctx.Err()
+		case <-w.dead:
+			return nil, false, fmt.Errorf("worker %s declared dead mid-job", w.id)
+		case <-time.After(co.cfg.PollInterval):
+		}
+
+		j, jerr := cl.Job(ctx, id)
+		if jerr != nil {
+			if ctx.Err() != nil {
+				return nil, false, ctx.Err()
+			}
+			if errors.Is(jerr, client.ErrJobNotFound) {
+				return nil, false, fmt.Errorf("worker %s lost job %s (restarted?)", w.id, id)
+			}
+			return nil, false, fmt.Errorf("worker %s unreachable mid-job: %v", w.id, jerr)
+		}
+		state, errMsg = j.State, j.Error
+	}
+}
+
+// cancelRemote DELETEs an abandoned job on a worker, detached from the
+// (already cancelled) dispatch context.
+func (co *Coordinator) cancelRemote(addr, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	co.clientFor(addr).Do(ctx, http.MethodDelete, "/jobs/"+id, nil)
+}
+
+// hedgeThreshold picks the straggler threshold for a label: the fixed
+// override if configured, else the data-driven percentile.
+func (co *Coordinator) hedgeThreshold(label string) (time.Duration, bool) {
+	if co.cfg.HedgeAfter > 0 {
+		return co.cfg.HedgeAfter, true
+	}
+	return co.lat.threshold(label)
+}
+
+// clientFor returns the cached retrying client for a worker address.
+// Retries stay small — failover, not the transport, is the real retry
+// mechanism.
+func (co *Coordinator) clientFor(addr string) *client.Client {
+	if cl, ok := co.clients.Load(addr); ok {
+		return cl.(*client.Client)
+	}
+	cl := client.New(client.Config{
+		BaseURL:      addr,
+		HTTPClient:   co.cfg.HTTPClient,
+		MaxRetries:   co.cfg.DispatchRetries,
+		BaseBackoff:  50 * time.Millisecond,
+		MaxBackoff:   500 * time.Millisecond,
+		PollInterval: co.cfg.PollInterval,
+	})
+	actual, _ := co.clients.LoadOrStore(addr, cl)
+	return actual.(*client.Client)
+}
+
+// writeClusterJSON / clusterError are the package's tiny response
+// helpers (the server keeps its own unexported ones).
+func writeClusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func clusterError(w http.ResponseWriter, status int, err error) {
+	writeClusterJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,558 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+const runSpecBody = `{"kind":"run","kernel":"CG","nodes":4}`
+
+// fastCfg keeps dispatch tests snappy and deterministic: the background
+// sweep ticker is parked at an hour so tests drive sweeps (and the fake
+// clock) by hand.
+func fastCfg(clk *fakeClock) Config {
+	cfg := Config{
+		HeartbeatInterval: time.Hour,
+		PollInterval:      5 * time.Millisecond,
+		DispatchRetries:   1,
+	}
+	if clk != nil {
+		cfg.Now = clk.now
+	}
+	return cfg
+}
+
+// stubEnvelope is a minimal POST /cluster/dispatch response.
+func stubEnvelope(id, state string) string {
+	return fmt.Sprintf(`{"job":{"id":%q,"state":%q,"key":%q}}`, id, state, testKey)
+}
+
+// stubJob is a minimal GET /jobs/{id} response.
+func stubJob(id, state, errMsg string) string {
+	return fmt.Sprintf(`{"id":%q,"state":%q,"error":%q}`, id, state, errMsg)
+}
+
+// stubWorker builds an httptest worker whose dispatch accepts, whose job
+// poll answers state, and whose result serves bytes. dispatched (if
+// non-nil) is closed on the first dispatch.
+func stubWorker(t *testing.T, state, errMsg, result string, dispatched chan struct{}) *httptest.Server {
+	t.Helper()
+	var once atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/cluster/dispatch":
+			if dispatched != nil && once.CompareAndSwap(false, true) {
+				close(dispatched)
+			}
+			w.WriteHeader(http.StatusCreated)
+			io.WriteString(w, stubEnvelope("job-1", "queued"))
+		case r.Method == http.MethodGet && r.URL.Path == "/jobs/job-1":
+			io.WriteString(w, stubJob("job-1", state, errMsg))
+		case r.Method == http.MethodGet && r.URL.Path == "/jobs/job-1/result":
+			io.WriteString(w, result)
+		case r.Method == http.MethodDelete && r.URL.Path == "/jobs/job-1":
+			io.WriteString(w, `{}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestDispatchHappyPath(t *testing.T) {
+	clk := newFakeClock()
+	co := NewCoordinator(fastCfg(clk))
+	defer co.Close()
+
+	ts := stubWorker(t, "done", "", "RESULT-BYTES", nil)
+	co.reg.register(Register{ID: "w1", Addr: ts.URL, Capacity: 2})
+
+	b, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if string(b) != "RESULT-BYTES" {
+		t.Fatalf("Dispatch returned %q", b)
+	}
+	st := co.Stats()
+	if st.Failovers != 0 || st.HedgesStarted != 0 {
+		t.Fatalf("unexpected counters: %+v", st)
+	}
+	if vs := co.reg.views(); vs[0].Assigned != 0 || len(vs[0].Inflight) != 0 {
+		t.Fatalf("dispatch not released: %+v", vs[0])
+	}
+}
+
+func TestDispatchFailoverOnDeadWorker(t *testing.T) {
+	clk := newFakeClock()
+	co := NewCoordinator(fastCfg(clk))
+	defer co.Close()
+
+	dispatched := make(chan struct{})
+	hang := stubWorker(t, "running", "", "", dispatched) // never finishes
+	good := stubWorker(t, "done", "", "FROM-SURVIVOR", nil)
+	// Ids sort "a" < "b", so the tie-break sends the job to the hanging
+	// worker first.
+	co.reg.register(Register{ID: "a", Addr: hang.URL, Capacity: 2})
+	co.reg.register(Register{ID: "b", Addr: good.URL, Capacity: 2})
+
+	type res struct {
+		b   []byte
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		b, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+		done <- res{b, err}
+	}()
+
+	<-dispatched // the job is in flight on worker a
+	// Worker a goes silent past the dead deadline; b keeps beating.
+	clk.advance(co.cfg.DeadAfter + time.Second)
+	co.reg.heartbeat(Heartbeat{ID: "b", Capacity: 2})
+	if died := co.reg.sweep(); len(died) != 1 || died[0] != "a" {
+		t.Fatalf("sweep declared dead: %v, want [a]", died)
+	}
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("Dispatch after failover: %v", r.err)
+	}
+	if string(r.b) != "FROM-SURVIVOR" {
+		t.Fatalf("failover result = %q", r.b)
+	}
+	st := co.Stats()
+	if st.Failovers != 1 || st.Live != 1 || st.Dead != 1 {
+		t.Fatalf("stats after failover: %+v", st)
+	}
+}
+
+func TestDispatchDeterministicFailureDoesNotFailOver(t *testing.T) {
+	clk := newFakeClock()
+	co := NewCoordinator(fastCfg(clk))
+	defer co.Close()
+
+	failing := stubWorker(t, "failed", "solver diverged", "", nil)
+	var spareDispatches atomic.Int64
+	spare := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spareDispatches.Add(1)
+		w.WriteHeader(http.StatusCreated)
+		io.WriteString(w, stubEnvelope("job-9", "queued"))
+	}))
+	defer spare.Close()
+	co.reg.register(Register{ID: "a", Addr: failing.URL, Capacity: 2})
+	co.reg.register(Register{ID: "b", Addr: spare.URL, Capacity: 2})
+
+	_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "solver diverged") {
+		t.Fatalf("Dispatch err = %v, want the job's own failure", err)
+	}
+	// Deterministic: the same spec fails the same way everywhere, so no
+	// copy may be burned on another worker.
+	if n := spareDispatches.Load(); n != 0 {
+		t.Fatalf("deterministic failure was retried on another worker %d times", n)
+	}
+	if st := co.Stats(); st.Failovers != 0 {
+		t.Fatalf("failovers = %d, want 0", st.Failovers)
+	}
+}
+
+func TestDispatchVersionSkewIsPermanent(t *testing.T) {
+	clk := newFakeClock()
+	co := NewCoordinator(fastCfg(clk))
+	defer co.Close()
+
+	skewed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		io.WriteString(w, `{"error":"cache key mismatch"}`)
+	}))
+	defer skewed.Close()
+	co.reg.register(Register{ID: "w1", Addr: skewed.URL, Capacity: 2})
+
+	_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "version skew") {
+		t.Fatalf("Dispatch err = %v, want version-skew refusal", err)
+	}
+}
+
+func TestDispatchNoWorkers(t *testing.T) {
+	clk := newFakeClock()
+	co := NewCoordinator(fastCfg(clk))
+	defer co.Close()
+	_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	if !errors.Is(err, server.ErrNoWorkers) {
+		t.Fatalf("Dispatch with empty registry: %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestDispatchHedgeWins(t *testing.T) {
+	clk := newFakeClock()
+	cfg := fastCfg(clk)
+	cfg.HedgeAfter = 20 * time.Millisecond
+	co := NewCoordinator(cfg)
+	defer co.Close()
+
+	straggler := stubWorker(t, "running", "", "", nil) // never finishes
+	fast := stubWorker(t, "done", "", "HEDGE-WON", nil)
+	co.reg.register(Register{ID: "a", Addr: straggler.URL, Capacity: 2})
+	co.reg.register(Register{ID: "b", Addr: fast.URL, Capacity: 2})
+
+	b, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if string(b) != "HEDGE-WON" {
+		t.Fatalf("hedged dispatch returned %q", b)
+	}
+	st := co.Stats()
+	if st.HedgesStarted != 1 || st.HedgesWon != 1 {
+		t.Fatalf("hedge counters: %+v", st)
+	}
+	if st.Failovers != 0 {
+		t.Fatalf("hedge counted as failover: %+v", st)
+	}
+}
+
+func TestWorkerHandlerDispatch(t *testing.T) {
+	srv := server.New(server.Config{})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(WorkerHandler(srv))
+	defer ts.Close()
+
+	key, err := srv.CacheKeyFor([]byte(runSpecBody))
+	if err != nil {
+		t.Fatalf("CacheKeyFor: %v", err)
+	}
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/cluster/dispatch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /cluster/dispatch: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Happy path: admitted through the normal submission machinery.
+	status, body := post(`{"key":"` + key + `","label":"run/CG","spec":` + runSpecBody + `}`)
+	if status != http.StatusCreated {
+		t.Fatalf("dispatch: HTTP %d: %s", status, body)
+	}
+	var env struct {
+		Job struct {
+			ID  string `json:"id"`
+			Key string `json:"key"`
+		} `json:"job"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Job.ID == "" {
+		t.Fatalf("dispatch envelope: %s (%v)", body, err)
+	}
+	if env.Job.Key != key {
+		t.Fatalf("worker filed the job under %s, coordinator sent %s", env.Job.Key, key)
+	}
+
+	// Re-dispatch coalesces (dedup or cache hit, depending on timing).
+	if status, _ := post(`{"key":"` + key + `","label":"run/CG","spec":` + runSpecBody + `}`); status != http.StatusOK {
+		t.Fatalf("re-dispatch: HTTP %d, want 200", status)
+	}
+
+	// Version skew: a well-formed key that isn't what this worker computes.
+	status, body = post(`{"key":"` + strings.Repeat("00", 32) + `","label":"run/CG","spec":` + runSpecBody + `}`)
+	if status != http.StatusConflict || !strings.Contains(body, "mismatch") {
+		t.Fatalf("skewed dispatch: HTTP %d: %s", status, body)
+	}
+
+	// Garbage wire message and unknown spec kind are both 400s.
+	if status, _ = post(`{"nope":true}`); status != http.StatusBadRequest {
+		t.Fatalf("garbage dispatch: HTTP %d", status)
+	}
+	if status, _ = post(`{"key":"` + key + `","label":"x","spec":{"kind":"no-such-kind"}}`); status != http.StatusBadRequest {
+		t.Fatalf("bad spec dispatch: HTTP %d", status)
+	}
+}
+
+// coordinatorServer wires a Coordinator into a real slipd server the way
+// cmd/slipd does: cluster API and client API on one mux.
+func coordinatorServer(t *testing.T, cfg Config) (*Coordinator, *server.Server, *httptest.Server) {
+	t.Helper()
+	co := NewCoordinator(cfg)
+	srv := server.New(server.Config{Cluster: co})
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/", co.Handler())
+	mux.Handle("/", srv.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		co.Close()
+	})
+	return co, srv, ts
+}
+
+// workerServer builds a real slipd worker: dispatch endpoint plus the
+// full client API.
+func workerServer(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(server.Config{})
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/dispatch", WorkerHandler(srv))
+	mux.Handle("/", srv.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ts
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func getBody(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(b), resp.StatusCode
+}
+
+// referenceRun executes a spec on a plain in-process server and returns
+// the bytes a fleet must reproduce exactly.
+func referenceRun(t *testing.T, spec string) string {
+	t.Helper()
+	srv := server.New(server.Config{})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("reference submit: %v", err)
+	}
+	var env struct {
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	var result string
+	waitFor(t, 60*time.Second, func() bool {
+		b, status := getBody(t, ts.URL+"/jobs/"+env.Job.ID+"/result")
+		if status == http.StatusOK {
+			result = b
+			return true
+		}
+		return false
+	}, "reference job never finished")
+	return result
+}
+
+func TestFleetEndToEnd(t *testing.T) {
+	want := referenceRun(t, runSpecBody)
+
+	cfg := Config{HeartbeatInterval: 25 * time.Millisecond, PollInterval: 10 * time.Millisecond}
+	co, _, cts := coordinatorServer(t, cfg)
+
+	w1, ts1 := workerServer(t)
+	w2, ts2 := workerServer(t)
+	for i, w := range []struct {
+		srv *server.Server
+		url string
+	}{{w1, ts1.URL}, {w2, ts2.URL}} {
+		a, err := StartAgent(AgentConfig{
+			Coordinator: cts.URL,
+			ID:          fmt.Sprintf("worker-%d", i),
+			Advertise:   w.url,
+			Capacity:    2,
+			Load:        w.srv.Load,
+			Interval:    25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("StartAgent: %v", err)
+		}
+		t.Cleanup(a.Stop)
+	}
+
+	// Both workers enroll via the real register/heartbeat HTTP path.
+	waitFor(t, 10*time.Second, func() bool {
+		return co.Stats().Live == 2
+	}, "workers never enrolled")
+
+	// A job submitted to the coordinator runs on a worker and returns
+	// byte-identical results.
+	resp, err := http.Post(cts.URL+"/jobs", "application/json", strings.NewReader(runSpecBody))
+	if err != nil {
+		t.Fatalf("submit to coordinator: %v", err)
+	}
+	var env struct {
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	var got string
+	waitFor(t, 60*time.Second, func() bool {
+		b, status := getBody(t, cts.URL+"/jobs/"+env.Job.ID+"/result")
+		if status == http.StatusOK {
+			got = b
+			return true
+		}
+		return false
+	}, "fleet job never finished")
+	if got != want {
+		t.Fatalf("fleet result differs from local reference:\nfleet: %q\nlocal: %q", got, want)
+	}
+
+	// The job actually ran on a worker, not on the coordinator.
+	if w1.RunsTotal()+w2.RunsTotal() == 0 {
+		t.Fatal("no worker executed anything; the coordinator must have run the job itself")
+	}
+
+	// Fleet observability: metrics gauges and a healthy readyz.
+	metrics, _ := getBody(t, cts.URL+"/metrics")
+	if !strings.Contains(metrics, `slipd_workers{state="live"} 2`) {
+		t.Fatalf("metrics missing live worker gauge:\n%s", metrics)
+	}
+	ready, status := getBody(t, cts.URL+"/readyz")
+	if status != http.StatusOK || !strings.Contains(ready, `"degraded":false`) {
+		t.Fatalf("readyz: HTTP %d %s", status, ready)
+	}
+	workers, _ := getBody(t, cts.URL+"/cluster/workers")
+	if !strings.Contains(workers, `"worker-0"`) || !strings.Contains(workers, `"worker-1"`) {
+		t.Fatalf("/cluster/workers missing fleet members: %s", workers)
+	}
+}
+
+func TestCoordinatorDegradedLocalFallback(t *testing.T) {
+	want := referenceRun(t, runSpecBody)
+
+	cfg := Config{HeartbeatInterval: 25 * time.Millisecond, PollInterval: 10 * time.Millisecond}
+	_, srv, cts := coordinatorServer(t, cfg)
+
+	// Zero workers: the coordinator must still answer, locally.
+	resp, err := http.Post(cts.URL+"/jobs", "application/json", strings.NewReader(runSpecBody))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var env struct {
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	var got string
+	waitFor(t, 60*time.Second, func() bool {
+		b, status := getBody(t, cts.URL+"/jobs/"+env.Job.ID+"/result")
+		if status == http.StatusOK {
+			got = b
+			return true
+		}
+		return false
+	}, "degraded job never finished")
+	if got != want {
+		t.Fatalf("degraded result differs from reference:\n%q\n%q", got, want)
+	}
+	if srv.RunsTotal() == 0 {
+		t.Fatal("coordinator did not execute locally")
+	}
+
+	ready, status := getBody(t, cts.URL+"/readyz")
+	if status != http.StatusOK || !strings.Contains(ready, `"degraded":true`) {
+		t.Fatalf("readyz in degraded mode: HTTP %d %s", status, ready)
+	}
+	metrics, _ := getBody(t, cts.URL+"/metrics")
+	if !strings.Contains(metrics, `slipd_workers{state="live"} 0`) {
+		t.Fatalf("metrics missing zero live gauge:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "slipd_local_fallbacks_total 1") {
+		t.Fatalf("metrics missing local fallback counter:\n%s", metrics)
+	}
+}
+
+func TestAgentReRegistersAfterDeadVerdict(t *testing.T) {
+	co := NewCoordinator(Config{HeartbeatInterval: 10 * time.Millisecond})
+	defer co.Close()
+	ts := httptest.NewServer(co.Handler())
+	defer ts.Close()
+
+	queued := atomic.Int64{}
+	a, err := StartAgent(AgentConfig{
+		Coordinator: ts.URL,
+		ID:          "w1",
+		Advertise:   "http://127.0.0.1:1",
+		Capacity:    3,
+		Load:        func() (int, int) { return int(queued.Load()), 0 },
+		Interval:    10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartAgent: %v", err)
+	}
+	defer a.Stop()
+
+	waitFor(t, 5*time.Second, func() bool { return co.Stats().Live == 1 }, "agent never registered")
+
+	// Heartbeats carry the live load report.
+	queued.Store(2)
+	waitFor(t, 5*time.Second, func() bool {
+		vs := co.reg.views()
+		return len(vs) == 1 && vs[0].Queued == 2
+	}, "heartbeat load report never arrived")
+
+	// The coordinator declares the worker dead (as after a long GC pause
+	// or partition); the next heartbeat ack sends the agent back to
+	// register, and the fleet heals with a fresh handle.
+	co.reg.mu.Lock()
+	old := co.reg.workers["w1"]
+	old.state = WorkerDead
+	closeDead(old)
+	co.reg.mu.Unlock()
+	waitFor(t, 5*time.Second, func() bool {
+		co.reg.mu.Lock()
+		w := co.reg.workers["w1"]
+		healed := w != old && w.state == WorkerLive
+		co.reg.mu.Unlock()
+		return healed
+	}, "agent never re-registered after dead verdict")
+}

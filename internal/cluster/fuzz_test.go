@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzClusterWire throws arbitrary bytes at every cluster wire decoder.
+// The decoders sit on the fleet's trust boundary — a worker can be
+// version-skewed, misconfigured, or malicious — so they must never
+// panic, and anything they accept must survive re-encode → re-decode
+// with the same validated meaning.
+func FuzzClusterWire(f *testing.F) {
+	f.Add([]byte(`{"id":"w1","addr":"http://10.0.0.7:8080","capacity":4}`))
+	f.Add([]byte(`{"id":"w1","queued":3,"running":1,"capacity":2}`))
+	f.Add([]byte(`{"key":"` + strings.Repeat("ab", 32) + `","label":"run/CG","spec":{"kind":"run","kernel":"CG","nodes":4}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"id":"w1","capacity":1}{"id":"w2"}`))
+	f.Add([]byte(strings.Repeat("[", 1000)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := DecodeRegister(bytes.NewReader(data)); err == nil {
+			if r.Validate() != nil {
+				t.Fatalf("DecodeRegister returned an invalid message: %+v", r)
+			}
+			b, err := json.Marshal(r)
+			if err != nil {
+				t.Fatalf("re-encode register: %v", err)
+			}
+			r2, err := DecodeRegister(bytes.NewReader(b))
+			if err != nil || r2 != r {
+				t.Fatalf("register round-trip: %+v → %+v (%v)", r, r2, err)
+			}
+		}
+		if h, err := DecodeHeartbeat(bytes.NewReader(data)); err == nil {
+			if h.Validate() != nil {
+				t.Fatalf("DecodeHeartbeat returned an invalid message: %+v", h)
+			}
+			b, err := json.Marshal(h)
+			if err != nil {
+				t.Fatalf("re-encode heartbeat: %v", err)
+			}
+			h2, err := DecodeHeartbeat(bytes.NewReader(b))
+			if err != nil || h2 != h {
+				t.Fatalf("heartbeat round-trip: %+v → %+v (%v)", h, h2, err)
+			}
+		}
+		if d, err := DecodeDispatch(bytes.NewReader(data)); err == nil {
+			if d.Validate() != nil {
+				t.Fatalf("DecodeDispatch returned an invalid message: %+v", d)
+			}
+			b, err := json.Marshal(d)
+			if err != nil {
+				t.Fatalf("re-encode dispatch: %v", err)
+			}
+			d2, err := DecodeDispatch(bytes.NewReader(b))
+			if err != nil || d2.Key != d.Key || d2.Label != d.Label {
+				t.Fatalf("dispatch round-trip: %+v → %+v (%v)", d, d2, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hedging policy: once a dispatch has run longer than a per-kernel
+// latency percentile (times a slack factor), the coordinator launches a
+// second copy on another worker and takes whichever result lands first.
+// Determinism makes the race safe — both copies produce the same bytes
+// — so hedging buys tail latency without risking correctness.
+const (
+	latencyWindow  = 64   // completions remembered per label
+	hedgeMinSample = 8    // below this, no data-driven hedging
+	hedgeSlack     = 1.5  // threshold = percentile × slack
+)
+
+// latencyTracker keeps a ring buffer of recent completion latencies per
+// job label and answers "how long is suspiciously long for this kind of
+// job?".
+type latencyTracker struct {
+	mu         sync.Mutex
+	percentile float64 // e.g. 0.95
+	byLabel    map[string]*ring
+}
+
+type ring struct {
+	buf  [latencyWindow]time.Duration
+	n    int // total observations ever
+	next int // write cursor
+}
+
+func newLatencyTracker(percentile float64) *latencyTracker {
+	return &latencyTracker{percentile: percentile, byLabel: map[string]*ring{}}
+}
+
+// observe records one successful completion latency for a label.
+func (t *latencyTracker) observe(label string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.byLabel[label]
+	if r == nil {
+		r = &ring{}
+		t.byLabel[label] = r
+	}
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % latencyWindow
+	r.n++
+}
+
+// threshold returns the hedge trigger for a label: the configured
+// percentile of recent latencies times the slack factor. ok is false
+// until enough samples have accumulated — hedging on guesswork would
+// double the fleet's work for nothing.
+func (t *latencyTracker) threshold(label string) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.byLabel[label]
+	if r == nil || r.n < hedgeMinSample {
+		return 0, false
+	}
+	n := r.n
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, r.buf[:n])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(n-1) * t.percentile)
+	return time.Duration(float64(sorted[idx]) * hedgeSlack), true
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyTrackerNeedsSamples(t *testing.T) {
+	tr := newLatencyTracker(0.95)
+	if _, ok := tr.threshold("CG"); ok {
+		t.Fatal("threshold available with zero samples")
+	}
+	for i := 0; i < hedgeMinSample-1; i++ {
+		tr.observe("CG", time.Second)
+	}
+	if _, ok := tr.threshold("CG"); ok {
+		t.Fatalf("threshold available with %d samples (min %d)", hedgeMinSample-1, hedgeMinSample)
+	}
+	tr.observe("CG", time.Second)
+	if _, ok := tr.threshold("CG"); !ok {
+		t.Fatal("threshold unavailable at the sample minimum")
+	}
+	// Labels are independent.
+	if _, ok := tr.threshold("MG"); ok {
+		t.Fatal("threshold leaked across labels")
+	}
+}
+
+func TestLatencyTrackerPercentile(t *testing.T) {
+	tr := newLatencyTracker(0.95)
+	// 1ms..10ms: p95 index = int(9 * 0.95) = 8 → 9ms; threshold 13.5ms.
+	for i := 1; i <= 10; i++ {
+		tr.observe("CG", time.Duration(i)*time.Millisecond)
+	}
+	th, ok := tr.threshold("CG")
+	if !ok {
+		t.Fatal("no threshold after 10 samples")
+	}
+	if want := time.Duration(13.5 * float64(time.Millisecond)); th != want {
+		t.Fatalf("threshold = %s, want %s", th, want)
+	}
+}
+
+func TestLatencyTrackerWindowWraps(t *testing.T) {
+	tr := newLatencyTracker(0.5)
+	// Fill the window with slow samples, then overwrite it entirely with
+	// fast ones: the threshold must forget the slow era.
+	for i := 0; i < latencyWindow; i++ {
+		tr.observe("CG", time.Minute)
+	}
+	for i := 0; i < latencyWindow; i++ {
+		tr.observe("CG", time.Millisecond)
+	}
+	th, ok := tr.threshold("CG")
+	if !ok {
+		t.Fatal("no threshold")
+	}
+	if th > 10*time.Millisecond {
+		t.Fatalf("threshold %s still remembers evicted slow samples", th)
+	}
+}

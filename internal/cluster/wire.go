@@ -1,0 +1,189 @@
+// Package cluster turns a set of slipd processes into a fleet: workers
+// register with a coordinator and heartbeat their load; the coordinator
+// owns the client-facing API and dispatches each job to the
+// least-loaded worker, failing over to survivors when a worker dies and
+// hedging stragglers with a second copy. Determinism plus content
+// addressing make all of it safe: a job executed twice — on a failover
+// survivor, on a hedge, or on a "dead" worker that was merely slow —
+// produces exactly the same bytes under exactly the same cache key.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire-format bounds. Every message is validated against these on
+// decode so a confused (or malicious) peer fails loudly at the edge
+// instead of poisoning the registry.
+const (
+	maxIDLen    = 128
+	maxAddrLen  = 512
+	maxLabelLen = 128
+	maxCapacity = 4096
+	maxGauge    = 1 << 20 // queue/running counts beyond this are nonsense
+	maxWireLen  = 2 << 20 // absolute body cap for any cluster message
+)
+
+// Register announces a worker to the coordinator: who it is, where its
+// HTTP API answers, and how many jobs it runs concurrently.
+type Register struct {
+	ID       string `json:"id"`
+	Addr     string `json:"addr"` // worker base URL, e.g. http://10.0.0.7:8080
+	Capacity int    `json:"capacity"`
+}
+
+// Validate applies the wire bounds.
+func (r Register) Validate() error {
+	if err := validID(r.ID); err != nil {
+		return err
+	}
+	if r.Addr == "" || len(r.Addr) > maxAddrLen {
+		return fmt.Errorf("register: addr length %d outside [1, %d]", len(r.Addr), maxAddrLen)
+	}
+	if len(r.Addr) < 8 || (r.Addr[:7] != "http://" && r.Addr[:8] != "https://") {
+		return fmt.Errorf("register: addr %q is not an http(s) URL", r.Addr)
+	}
+	if r.Capacity < 1 || r.Capacity > maxCapacity {
+		return fmt.Errorf("register: capacity %d outside [1, %d]", r.Capacity, maxCapacity)
+	}
+	return nil
+}
+
+// RegisterAck is the coordinator's answer: the heartbeat cadence it
+// expects, so fleet timing is configured in exactly one place.
+type RegisterAck struct {
+	OK              bool  `json:"ok"`
+	HeartbeatMillis int64 `json:"heartbeat_ms"`
+}
+
+// Heartbeat is a worker's periodic liveness-and-load report.
+type Heartbeat struct {
+	ID       string `json:"id"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Capacity int    `json:"capacity"`
+}
+
+// Validate applies the wire bounds.
+func (h Heartbeat) Validate() error {
+	if err := validID(h.ID); err != nil {
+		return err
+	}
+	if h.Queued < 0 || h.Queued > maxGauge {
+		return fmt.Errorf("heartbeat: queued %d outside [0, %d]", h.Queued, maxGauge)
+	}
+	if h.Running < 0 || h.Running > maxGauge {
+		return fmt.Errorf("heartbeat: running %d outside [0, %d]", h.Running, maxGauge)
+	}
+	if h.Capacity < 1 || h.Capacity > maxCapacity {
+		return fmt.Errorf("heartbeat: capacity %d outside [1, %d]", h.Capacity, maxCapacity)
+	}
+	return nil
+}
+
+// HeartbeatAck tells the worker whether the coordinator still knows it.
+// Registered=false (a coordinator restart wiped the registry, or the
+// worker was declared dead) makes the agent re-register — the fleet
+// heals itself in one heartbeat interval.
+type HeartbeatAck struct {
+	Registered bool `json:"registered"`
+}
+
+// Dispatch is the coordinator→worker job hand-off: the job spec in the
+// server's normalized JSON encoding, the metrics label, and the cache
+// key the coordinator computed. The worker recomputes the key from the
+// spec and refuses on mismatch, so a version-skewed fleet fails loudly
+// instead of caching bytes under the wrong identity.
+type Dispatch struct {
+	Key   string          `json:"key"`
+	Label string          `json:"label"`
+	Spec  json.RawMessage `json:"spec"`
+}
+
+// Validate applies the wire bounds (the spec's content is validated by
+// the server's own compile step).
+func (d Dispatch) Validate() error {
+	if !validKey(d.Key) {
+		return fmt.Errorf("dispatch: malformed cache key %q", d.Key)
+	}
+	if d.Label == "" || len(d.Label) > maxLabelLen {
+		return fmt.Errorf("dispatch: label length %d outside [1, %d]", len(d.Label), maxLabelLen)
+	}
+	if len(d.Spec) == 0 {
+		return fmt.Errorf("dispatch: missing spec")
+	}
+	return nil
+}
+
+// DecodeRegister strictly decodes and validates a Register body.
+func DecodeRegister(r io.Reader) (Register, error) {
+	var m Register
+	if err := decodeStrict(r, &m); err != nil {
+		return Register{}, err
+	}
+	return m, m.Validate()
+}
+
+// DecodeHeartbeat strictly decodes and validates a Heartbeat body.
+func DecodeHeartbeat(r io.Reader) (Heartbeat, error) {
+	var m Heartbeat
+	if err := decodeStrict(r, &m); err != nil {
+		return Heartbeat{}, err
+	}
+	return m, m.Validate()
+}
+
+// DecodeDispatch strictly decodes and validates a Dispatch body.
+func DecodeDispatch(r io.Reader) (Dispatch, error) {
+	var m Dispatch
+	if err := decodeStrict(r, &m); err != nil {
+		return Dispatch{}, err
+	}
+	return m, m.Validate()
+}
+
+// decodeStrict rejects unknown fields, trailing data, and oversized
+// bodies, so typos and confused peers fail loudly at the edge.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxWireLen))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return fmt.Errorf("trailing data after cluster message")
+	}
+	return nil
+}
+
+// validID bounds a worker id: printable ASCII without spaces keeps ids
+// safe in logs, metrics labels, and URLs.
+func validID(id string) error {
+	if id == "" || len(id) > maxIDLen {
+		return fmt.Errorf("worker id length %d outside [1, %d]", len(id), maxIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return fmt.Errorf("worker id contains byte 0x%02x", id[i])
+		}
+	}
+	return nil
+}
+
+// validKey reports whether k looks like a sha256 cache key (64 lowercase
+// hex characters), matching the store's key discipline.
+func validKey(k string) bool {
+	if len(k) != 64 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// WorkerHandler serves the coordinator-facing side of a worker:
+//
+//	POST /cluster/dispatch — accept a job hand-off
+//
+// The handler recomputes the cache key from the spec before admitting
+// the job and refuses with 409 when it disagrees with the coordinator's.
+// That guard is what keeps a mixed-version fleet honest: if coordinator
+// and worker would file the same spec under different keys, executing
+// the dispatch would poison the content-addressed store, so the fleet
+// fails loudly instead. Admission itself goes through the server's
+// normal path — dedup, cache hits, durability, and queue-full shedding
+// all behave exactly as they do for a direct client submission.
+func WorkerHandler(srv *server.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/dispatch", func(w http.ResponseWriter, r *http.Request) {
+		d, err := DecodeDispatch(r.Body)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		key, err := srv.CacheKeyFor(d.Spec)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, fmt.Errorf("dispatch spec: %w", err))
+			return
+		}
+		if key != d.Key {
+			clusterError(w, http.StatusConflict,
+				fmt.Errorf("cache key mismatch: coordinator says %s, this worker computes %s (version skew?)", d.Key, key))
+			return
+		}
+		view, outcome, err := srv.SubmitJSON(d.Spec)
+		switch {
+		case errors.Is(err, server.ErrDraining), errors.Is(err, server.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			clusterError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		status := http.StatusCreated
+		if outcome.Dedup || outcome.Cached {
+			status = http.StatusOK
+		}
+		writeClusterJSON(w, status, map[string]any{
+			"job":    view,
+			"dedup":  outcome.Dedup,
+			"cached": outcome.Cached,
+		})
+	})
+	return mux
+}

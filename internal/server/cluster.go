@@ -1,0 +1,76 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Fleet seam: a Server configured with a Cluster backend routes job
+// execution through it instead of running simulations in-process. The
+// backend (internal/cluster's coordinator) owns worker selection,
+// failover, and hedging; the server keeps owning admission, dedup, the
+// cache, durability, and the client-facing API. The seam is sound for
+// the same reason the cache is: simulations are deterministic and
+// content-addressed, so a job executed remotely — even twice, on two
+// workers — yields exactly the bytes a local run would have produced.
+
+// ErrNoWorkers is returned by a Cluster backend when no worker can take
+// the job. The server then degrades gracefully: it executes the job
+// locally in-process and reports degraded=true on /readyz.
+var ErrNoWorkers = errors.New("cluster: no live workers")
+
+// ClusterStats is a point-in-time snapshot of the fleet, surfaced in
+// /metrics and on /readyz.
+type ClusterStats struct {
+	// Worker counts by health state.
+	Live    int
+	Suspect int
+	Dead    int
+	// Failovers counts in-flight dispatches re-run on a survivor after
+	// their worker was lost.
+	Failovers uint64
+	// HedgesStarted / HedgesWon count second copies launched for
+	// straggling dispatches, and how many of those finished first.
+	HedgesStarted uint64
+	HedgesWon     uint64
+	// Degraded is true while no worker (live or suspect) can take jobs;
+	// the coordinator is executing everything locally.
+	Degraded bool
+}
+
+// Cluster is the dispatch backend a coordinator plugs into Config. The
+// server calls Dispatch from its worker goroutines with the job's cache
+// key, metrics label, and normalized spec; progress lines written to
+// progress reach the job's SSE subscribers.
+type Cluster interface {
+	Dispatch(ctx context.Context, key, label string, spec JobSpec, progress io.Writer) ([]byte, error)
+	Stats() ClusterStats
+}
+
+// executeOrDispatch is the seam runJob calls: without a cluster backend
+// it executes in-process; with one it dispatches, falling back to local
+// execution when no worker is available.
+func (s *Server) executeOrDispatch(ctx context.Context, c *compiledSpec, j *Job) ([]byte, error) {
+	if s.cfg.Cluster == nil {
+		return s.executeGuarded(ctx, c, j)
+	}
+	result, err := s.cfg.Cluster.Dispatch(ctx, j.Key, c.label(), c.spec, j.broker)
+	if errors.Is(err, ErrNoWorkers) {
+		s.metrics.localFallback()
+		fmt.Fprintf(j.broker, "cluster: no live workers; executing locally in degraded mode\n")
+		return s.executeGuarded(ctx, c, j)
+	}
+	return result, err
+}
+
+// clusterStats snapshots the backend for /metrics (nil when the server
+// is not a coordinator).
+func (s *Server) clusterStats() *ClusterStats {
+	if s.cfg.Cluster == nil {
+		return nil
+	}
+	st := s.cfg.Cluster.Stats()
+	return &st
+}

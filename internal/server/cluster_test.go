@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeCluster scripts the dispatch backend: it either answers with fixed
+// bytes or reports no workers, and counts how often it was asked.
+type fakeCluster struct {
+	bytes     []byte
+	noWorkers bool
+	degraded  bool
+	calls     atomic.Int64
+}
+
+func (f *fakeCluster) Dispatch(ctx context.Context, key, label string, spec JobSpec, progress io.Writer) ([]byte, error) {
+	f.calls.Add(1)
+	if f.noWorkers {
+		return nil, ErrNoWorkers
+	}
+	io.WriteString(progress, "remote worker says hello\n")
+	return f.bytes, nil
+}
+
+func (f *fakeCluster) Stats() ClusterStats {
+	return ClusterStats{Live: 2, Suspect: 1, Failovers: 7, HedgesStarted: 3, HedgesWon: 2, Degraded: f.degraded}
+}
+
+func TestClusterDispatchSeam(t *testing.T) {
+	fc := &fakeCluster{bytes: []byte("REMOTE-RESULT")}
+	s, ts := newTestServer(t, Config{Workers: 1, Cluster: fc})
+
+	sr, code := submit(t, ts, runSpecBody)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	j := await(t, s, sr.Job.ID)
+	if st := j.stateNow(); st != StateDone {
+		t.Fatalf("job state = %s", st)
+	}
+	got, _ := j.resultBytes()
+	if string(got) != "REMOTE-RESULT" {
+		t.Fatalf("job result = %q, want the cluster backend's bytes", got)
+	}
+	if fc.calls.Load() != 1 {
+		t.Fatalf("backend dispatched %d times, want 1", fc.calls.Load())
+	}
+
+	// Coordinator metrics expose the fleet.
+	body, _ := getBody(t, ts.URL+"/metrics")
+	for _, line := range []string{
+		`slipd_workers{state="live"} 2`,
+		`slipd_workers{state="suspect"} 1`,
+		`slipd_workers{state="dead"} 0`,
+		`slipd_failovers_total 7`,
+		`slipd_hedges_started_total 3`,
+		`slipd_hedges_won_total 2`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+}
+
+func TestClusterNoWorkersFallsBackLocally(t *testing.T) {
+	fc := &fakeCluster{noWorkers: true, degraded: true}
+	s, ts := newTestServer(t, Config{Workers: 1, Cluster: fc})
+
+	sr, code := submit(t, ts, runSpecBody)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	j := await(t, s, sr.Job.ID)
+	if st := j.stateNow(); st != StateDone {
+		t.Fatalf("job state = %s, want done via local fallback (%s)", st, j.snapshot().Error)
+	}
+	got, _ := j.resultBytes()
+	if len(got) == 0 {
+		t.Fatal("local fallback produced no result")
+	}
+	if s.RunsTotal() == 0 {
+		t.Fatal("local fallback did not actually execute the simulation")
+	}
+
+	body, _ := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "slipd_local_fallbacks_total 1") {
+		t.Fatalf("metrics missing local fallback counter:\n%s", body)
+	}
+
+	// /readyz stays 200 but carries the degraded flag.
+	ready, status := getBody(t, ts.URL+"/readyz")
+	if status != http.StatusOK || !strings.Contains(ready, `"degraded":true`) {
+		t.Fatalf("readyz = %d %s", status, ready)
+	}
+}
+
+func TestMetricsOmitClusterBlockWithoutBackend(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body, _ := getBody(t, ts.URL+"/metrics")
+	if strings.Contains(body, "slipd_workers") || strings.Contains(body, "slipd_failovers_total") {
+		t.Fatalf("non-coordinator metrics leak cluster gauges:\n%s", body)
+	}
+	ready, _ := getBody(t, ts.URL+"/readyz")
+	if strings.Contains(ready, "degraded") {
+		t.Fatalf("non-coordinator readyz carries degraded flag: %s", ready)
+	}
+}

@@ -306,7 +306,13 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	resp := map[string]any{"status": "ready"}
+	// A coordinator is still ready with zero workers — it executes jobs
+	// locally — but the degraded flag tells operators the fleet is gone.
+	if cs := s.clusterStats(); cs != nil {
+		resp["degraded"] = cs.Degraded
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleResultByKey serves a result straight from the content-addressed

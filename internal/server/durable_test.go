@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -332,5 +333,56 @@ func TestMemoryOnlyServerStillServes(t *testing.T) {
 	j := await(t, s, sr.Job.ID)
 	if _, code := getBody(t, ts.URL+"/results/"+j.Key); code != http.StatusOK {
 		t.Fatalf("memory-only /results/{key} after done != 200 (LRU should answer)")
+	}
+}
+
+// eventsBody reads an entire SSE stream. The stream terminating at all
+// is part of what these tests assert: a job whose broker is never closed
+// would stream forever, and the client timeout turns that hang into a
+// loud failure.
+func eventsBody(t *testing.T, ts *httptest.Server, id string) string {
+	t.Helper()
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(ts.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("events stream never terminated: %v", err)
+	}
+	return string(b)
+}
+
+// Regression: a journal-rehydrated terminal job must serve a terminal
+// SSE event, not a stream that never closes.
+func TestRestoredJobEventsTerminate(t *testing.T) {
+	dir := t.TempDir()
+	fabricateJournal(t, dir,
+		store.Record{Job: "job-1", Key: strings.Repeat("ab", 32), State: string(StateFailed), Error: "boom", Attempts: 3, Spec: json.RawMessage(runSpecBody)})
+	s, ts := openDurable(t, durableCfg(dir))
+	defer shutdown(t, s)
+
+	body := eventsBody(t, ts, "job-1")
+	if !strings.Contains(body, "event: state") || !strings.Contains(body, "data: failed") {
+		t.Fatalf("restored job events missing terminal state:\n%s", body)
+	}
+}
+
+// Regression: a submission answered from the result cache materializes a
+// done job that never runs — its event stream must still terminate.
+func TestCachedSubmissionEventsTerminate(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	sr, _ := submit(t, ts, runSpecBody)
+	await(t, s, sr.Job.ID)
+
+	sr2, code := submit(t, ts, runSpecBody)
+	if code != http.StatusCreated || !sr2.Cached {
+		t.Fatalf("second submit: code=%d cached=%v", code, sr2.Cached)
+	}
+	body := eventsBody(t, ts, sr2.Job.ID)
+	if !strings.Contains(body, "event: state") || !strings.Contains(body, "data: done") {
+		t.Fatalf("cached job events missing terminal state:\n%s", body)
 	}
 }

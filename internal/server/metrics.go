@@ -52,6 +52,7 @@ type metrics struct {
 	requeued    uint64 // crash-interrupted jobs put back on the queue at startup
 	retries     uint64 // executions of a job beyond its first attempt
 	journalErrs uint64 // journal/store writes that failed (durability degraded)
+	localFalls  uint64 // jobs a coordinator executed locally for want of workers
 	latency     map[string]*histogram
 }
 
@@ -147,6 +148,21 @@ func (m *metrics) journalError() {
 	m.journalErrs++
 }
 
+// localFallback records a job a coordinator ran in-process because no
+// worker could take it (the degraded path).
+func (m *metrics) localFallback() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.localFalls++
+}
+
+// stateCounts reads the queued/running gauges (used by worker heartbeats).
+func (m *metrics) stateCounts() (queued, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobsByState[StateQueued], m.jobsByState[StateRunning]
+}
+
 // addFaults accumulates a fault-plan run's injected-fault and recovery
 // counts.
 func (m *metrics) addFaults(injected, recovered uint64) {
@@ -179,7 +195,7 @@ type durabilityStats struct {
 
 // write renders the exposition. Series are emitted in sorted order so the
 // output is deterministic and diffable.
-func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durabilityStats) {
+func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durabilityStats, cluster *ClusterStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -242,6 +258,32 @@ func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durab
 	fmt.Fprintln(w, "# HELP slipd_store_misses_total Disk result-store misses.")
 	fmt.Fprintln(w, "# TYPE slipd_store_misses_total counter")
 	fmt.Fprintf(w, "slipd_store_misses_total %d\n", dur.StoreMisses)
+
+	// Cluster series appear only on a coordinator; a plain slipd has no
+	// fleet to report on.
+	if cluster != nil {
+		fmt.Fprintln(w, "# HELP slipd_workers Fleet workers by health state.")
+		fmt.Fprintln(w, "# TYPE slipd_workers gauge")
+		fmt.Fprintf(w, "slipd_workers{state=\"live\"} %d\n", cluster.Live)
+		fmt.Fprintf(w, "slipd_workers{state=\"suspect\"} %d\n", cluster.Suspect)
+		fmt.Fprintf(w, "slipd_workers{state=\"dead\"} %d\n", cluster.Dead)
+
+		fmt.Fprintln(w, "# HELP slipd_failovers_total In-flight dispatches re-run on a survivor after their worker was lost.")
+		fmt.Fprintln(w, "# TYPE slipd_failovers_total counter")
+		fmt.Fprintf(w, "slipd_failovers_total %d\n", cluster.Failovers)
+
+		fmt.Fprintln(w, "# HELP slipd_hedges_started_total Second copies launched for dispatches running past the per-kernel latency threshold.")
+		fmt.Fprintln(w, "# TYPE slipd_hedges_started_total counter")
+		fmt.Fprintf(w, "slipd_hedges_started_total %d\n", cluster.HedgesStarted)
+
+		fmt.Fprintln(w, "# HELP slipd_hedges_won_total Hedged copies that finished before the primary.")
+		fmt.Fprintln(w, "# TYPE slipd_hedges_won_total counter")
+		fmt.Fprintf(w, "slipd_hedges_won_total %d\n", cluster.HedgesWon)
+
+		fmt.Fprintln(w, "# HELP slipd_local_fallbacks_total Jobs the coordinator executed in-process because no worker could take them.")
+		fmt.Fprintln(w, "# TYPE slipd_local_fallbacks_total counter")
+		fmt.Fprintf(w, "slipd_local_fallbacks_total %d\n", m.localFalls)
+	}
 
 	fmt.Fprintln(w, "# HELP slipd_jobs Jobs currently in each state.")
 	fmt.Fprintln(w, "# TYPE slipd_jobs gauge")

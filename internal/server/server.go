@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -44,6 +46,11 @@ type Config struct {
 	// RetryBackoff is the base delay before re-running a crash-recovered
 	// job; it doubles per attempt (default 250ms, capped at 30s).
 	RetryBackoff time.Duration
+	// Cluster, when non-nil, turns this server into a fleet coordinator:
+	// job execution is dispatched through the backend (which owns worker
+	// selection, failover, and hedging) and only falls back to local
+	// in-process execution when the backend reports ErrNoWorkers.
+	Cluster Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +147,19 @@ type submitResponse struct {
 	Cached bool    `json:"cached"` // answered from the result cache
 }
 
+// Submission sentinels, shared by POST /jobs and the programmatic
+// SubmitJSON path (the cluster dispatch endpoint maps them to 503s).
+var (
+	ErrDraining  = errors.New("server is draining")
+	ErrQueueFull = errors.New("job queue is full")
+)
+
+// SubmitOutcome reports how a submission was answered.
+type SubmitOutcome struct {
+	Dedup  bool // coalesced onto an existing in-flight job
+	Cached bool // answered from the result cache
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := decodeSpec(r.Body)
 	if err != nil {
@@ -156,12 +176,66 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	view, out, err := s.register(c, key)
+	switch {
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrQueueFull):
+		// Retry-After tells well-behaved clients to back off instead of
+		// hammering.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err)
+	case out.Dedup:
+		writeJSON(w, http.StatusOK, submitResponse{Job: view, Dedup: true})
+	default:
+		writeJSON(w, http.StatusCreated, submitResponse{Job: view, Cached: out.Cached})
+	}
+}
 
+// SubmitJSON registers a spec exactly as POST /jobs does — single-flight
+// dedup, tiered cache lookup, queue-full shedding — and returns the
+// job's view. It is the programmatic seam the cluster worker endpoint
+// submits dispatched jobs through. Spec errors come back as-is;
+// ErrDraining and ErrQueueFull mark transient refusals.
+func (s *Server) SubmitJSON(specJSON []byte) (JobView, SubmitOutcome, error) {
+	spec, err := decodeSpec(bytes.NewReader(specJSON))
+	if err != nil {
+		return JobView{}, SubmitOutcome{}, err
+	}
+	c, err := compile(spec)
+	if err != nil {
+		return JobView{}, SubmitOutcome{}, err
+	}
+	key, err := c.cacheKey(s.cfg.Version)
+	if err != nil {
+		return JobView{}, SubmitOutcome{}, err
+	}
+	return s.register(c, key)
+}
+
+// CacheKeyFor compiles a spec and returns the content-addressed cache
+// key it would run under on this server, without registering anything.
+// The cluster worker endpoint uses it to reject dispatches from a
+// coordinator running a different code version before any work starts.
+func (s *Server) CacheKeyFor(specJSON []byte) (string, error) {
+	spec, err := decodeSpec(bytes.NewReader(specJSON))
+	if err != nil {
+		return "", err
+	}
+	c, err := compile(spec)
+	if err != nil {
+		return "", err
+	}
+	return c.cacheKey(s.cfg.Version)
+}
+
+// register is the admission path shared by every submission surface:
+// dedup against in-flight work, answer from the cache, or queue.
+func (s *Server) register(c *compiledSpec, key string) (JobView, SubmitOutcome, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
-		return
+		return JobView{}, SubmitOutcome{}, ErrDraining
 	}
 
 	// Single-flight: an identical job already queued or running answers
@@ -171,8 +245,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.metrics.dedupHit()
 		view := j.snapshot()
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, submitResponse{Job: view, Dedup: true})
-		return
+		return view, SubmitOutcome{Dedup: true}, nil
 	}
 
 	// Content-addressed cache: determinism means an equal key is an equal
@@ -184,36 +257,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.attempts = 0 // never handed to the queue
 		j.result = result
 		close(j.done)
+		// The job never runs, so nothing else will close its broker; do it
+		// here or GET /jobs/{id}/events would stream forever without a
+		// terminal event.
+		j.broker.close()
 		s.metrics.jobCreated(StateDone)
 		// No fsync: losing this record costs a job-listing entry, not a
 		// result — the bytes are already durable under the key.
 		s.journalAppend(store.Record{Job: j.ID, Key: key, State: string(StateDone), Cached: true, Spec: specJSON(c.spec)}, false)
 		view := j.snapshot()
 		s.mu.Unlock()
-		writeJSON(w, http.StatusCreated, submitResponse{Job: view, Cached: true})
-		return
+		return view, SubmitOutcome{Cached: true}, nil
 	}
 
 	j := s.newJobLocked(key, c.spec, StateQueued)
 	select {
 	case s.queue <- j:
 	default:
-		// Queue full: roll the registration back and shed load. Retry-After
-		// tells well-behaved clients to back off instead of hammering.
+		// Queue full: roll the registration back and shed load.
 		delete(s.jobs, j.ID)
 		delete(s.inflight, key)
 		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
 		s.metrics.requestShed()
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("job queue is full"))
-		return
+		return JobView{}, SubmitOutcome{}, ErrQueueFull
 	}
 	s.metrics.jobCreated(StateQueued)
 	s.journalAppend(store.Record{Job: j.ID, Key: key, State: string(StateQueued), Attempts: 1, Spec: specJSON(c.spec)}, false)
 	view := j.snapshot()
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, submitResponse{Job: view})
+	return view, SubmitOutcome{}, nil
 }
 
 // newJobLocked registers a job under the next ID. Caller holds s.mu.
@@ -333,7 +406,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, len(s.queue), s.cache.Stats(), s.durabilityStats())
+	s.metrics.write(w, len(s.queue), s.cache.Stats(), s.durabilityStats(), s.clusterStats())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -404,7 +477,7 @@ func (s *Server) runJob(j *Job) {
 			execCtx, tcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 			defer tcancel()
 		}
-		result, err = s.executeGuarded(execCtx, c, j)
+		result, err = s.executeOrDispatch(execCtx, c, j)
 		// A blown per-job deadline — not a shutdown or client cancel on
 		// the parent context — settles the job as a timeout.
 		if err != nil && execCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
@@ -490,6 +563,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.closePersistence()
 		return ctx.Err()
 	}
+}
+
+// Load reports how many jobs are currently queued and running (exported
+// for the worker agent's heartbeats; the same gauges are in /metrics).
+func (s *Server) Load() (queued, running int) {
+	return s.metrics.stateCounts()
 }
 
 // RunsTotal reports how many underlying simulation executions have

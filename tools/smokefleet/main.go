@@ -1,0 +1,459 @@
+// Command smokefleet is the end-to-end fleet drill behind
+// `make smoke-fleet`. Phase one is the failover drill: a coordinator
+// plus two workers, all real processes; a slow job is dispatched, the
+// worker running it is SIGKILLed mid-execution, and the job must settle
+// on the survivor with bytes identical to an uninterrupted reference
+// run, with slipd_failovers_total ≥ 1 on the coordinator. Phase two is
+// the degradation drill: a coordinator with zero workers must execute
+// jobs locally, report "degraded":true on /readyz, and count the local
+// fallback in its metrics.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// fastSpec finishes in seconds; slowSpec runs long enough that a SIGKILL
+// reliably lands while a worker is still executing it.
+const (
+	fastSpec = `{"kind":"scaling","kernel":"CG","node_counts":[2,4],"scale":"test"}`
+	slowSpec = `{"kind":"static","kernels":["CG"],"nodes":8,"scale":"small"}`
+)
+
+func main() {
+	bin := "bin/slipd"
+	if len(os.Args) > 1 {
+		bin = os.Args[1]
+	}
+	if err := failoverDrill(bin); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke-fleet: FAILED:", err)
+		os.Exit(1)
+	}
+	if err := degradedDrill(bin); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke-fleet: FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke-fleet: PASSED")
+}
+
+// failoverDrill: coordinator + 2 workers, SIGKILL the worker running the
+// job, assert the survivor finishes it byte-identically.
+func failoverDrill(bin string) error {
+	ref, err := referenceRun(bin, slowSpec)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+
+	coord, coordBase, err := startSlipd(bin, "-no-persist", "-coordinator",
+		"-heartbeat-interval", "300ms", "-suspect-after", "1s", "-dead-after", "2s")
+	if err != nil {
+		return err
+	}
+	defer coord.Process.Kill()
+	if err := waitReady(coordBase, 10*time.Second); err != nil {
+		return err
+	}
+
+	type workerProc struct {
+		cmd  *exec.Cmd
+		base string
+	}
+	workers := map[string]workerProc{}
+	for _, id := range []string{"w1", "w2"} {
+		cmd, base, err := startSlipd(bin, "-no-persist", "-worker",
+			"-join", coordBase, "-worker-id", id)
+		if err != nil {
+			return err
+		}
+		defer cmd.Process.Kill()
+		workers[id] = workerProc{cmd, base}
+	}
+
+	// Both workers must enroll through register + heartbeat.
+	if err := waitWorkers(coordBase, 2, 15*time.Second); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "smoke-fleet: 2 workers live")
+
+	id, key, _, err := submit(coordBase, slowSpec)
+	if err != nil {
+		return err
+	}
+
+	// Find which worker the job landed on and wait until it is actually
+	// executing there — a SIGKILL before execution would only test
+	// dispatch retry, not mid-job failover.
+	victim, err := findAssignedWorker(coordBase, key, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	vp, ok := workers[victim]
+	if !ok {
+		return fmt.Errorf("job assigned to unknown worker %q", victim)
+	}
+	if err := waitWorkerRunning(vp.base, 30*time.Second); err != nil {
+		return err
+	}
+	if err := vp.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	vp.cmd.Wait()
+	fmt.Fprintf(os.Stderr, "smoke-fleet: SIGKILLed worker %s while running %s\n", victim, id)
+
+	// The coordinator must fail the job over to the survivor and the
+	// bytes must match the uninterrupted reference exactly.
+	if err := waitDone(coordBase, id, 3*time.Minute); err != nil {
+		return fmt.Errorf("job after worker kill: %w", err)
+	}
+	got, code, err := get(coordBase + "/jobs/" + id + "/result")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("GET result = %d", code)
+	}
+	if got != ref {
+		return fmt.Errorf("failover result differs from uninterrupted run:\n--- failover ---\n%s--- reference ---\n%s", got, ref)
+	}
+	fmt.Fprintln(os.Stderr, "smoke-fleet: failover produced byte-identical output")
+
+	metrics, _, err := get(coordBase + "/metrics")
+	if err != nil {
+		return err
+	}
+	fail, err := metricValue(metrics, "slipd_failovers_total")
+	if err != nil {
+		return err
+	}
+	if fail < 1 {
+		return fmt.Errorf("slipd_failovers_total = %d, want >= 1:\n%s", fail, metrics)
+	}
+	if !strings.Contains(metrics, `slipd_workers{state="live"} 1`) {
+		return fmt.Errorf("metrics missing surviving worker gauge:\n%s", metrics)
+	}
+	fmt.Fprintf(os.Stderr, "smoke-fleet: coordinator counted %d failover(s)\n", fail)
+
+	// Survivor and coordinator both drain cleanly.
+	for wid, wp := range workers {
+		if wid == victim {
+			continue
+		}
+		if err := stopGracefully(wp.cmd); err != nil {
+			return fmt.Errorf("stop worker %s: %w", wid, err)
+		}
+	}
+	return stopGracefully(coord)
+}
+
+// degradedDrill: a coordinator with zero workers still answers, locally.
+func degradedDrill(bin string) error {
+	ref, err := referenceRun(bin, fastSpec)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+
+	coord, base, err := startSlipd(bin, "-no-persist", "-coordinator")
+	if err != nil {
+		return err
+	}
+	defer coord.Process.Kill()
+	if err := waitReady(base, 10*time.Second); err != nil {
+		return err
+	}
+
+	ready, _, err := get(base + "/readyz")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(ready, `"degraded":true`) {
+		return fmt.Errorf("zero-worker coordinator readyz = %s, want degraded:true", ready)
+	}
+
+	id, _, _, err := submit(base, fastSpec)
+	if err != nil {
+		return err
+	}
+	if err := waitDone(base, id, 2*time.Minute); err != nil {
+		return fmt.Errorf("degraded job: %w", err)
+	}
+	got, code, err := get(base + "/jobs/" + id + "/result")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || got != ref {
+		return fmt.Errorf("degraded result: HTTP %d, bytes match=%v", code, got == ref)
+	}
+
+	metrics, _, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		`slipd_workers{state="live"} 0`,
+		"slipd_local_fallbacks_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("degraded metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "smoke-fleet: zero-worker coordinator executed locally in degraded mode")
+	return stopGracefully(coord)
+}
+
+// clusterView mirrors GET /cluster/workers.
+type clusterView struct {
+	Workers []struct {
+		ID       string   `json:"id"`
+		State    string   `json:"state"`
+		Inflight []string `json:"inflight"`
+	} `json:"workers"`
+	Degraded bool `json:"degraded"`
+}
+
+func clusterWorkers(base string) (clusterView, error) {
+	body, code, err := get(base + "/cluster/workers")
+	if err != nil {
+		return clusterView{}, err
+	}
+	if code != http.StatusOK {
+		return clusterView{}, fmt.Errorf("GET /cluster/workers = %d: %s", code, body)
+	}
+	var cv clusterView
+	if err := json.Unmarshal([]byte(body), &cv); err != nil {
+		return clusterView{}, err
+	}
+	return cv, nil
+}
+
+// waitWorkers polls the fleet view until n workers are live.
+func waitWorkers(base string, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		cv, err := clusterWorkers(base)
+		if err == nil {
+			live := 0
+			for _, w := range cv.Workers {
+				if w.State == "live" {
+					live++
+				}
+			}
+			if live >= n {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("fewer than %d live workers within %s", n, timeout)
+}
+
+// findAssignedWorker polls the fleet view until some worker holds the
+// job's cache key in flight.
+func findAssignedWorker(base, key string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		cv, err := clusterWorkers(base)
+		if err == nil {
+			for _, w := range cv.Workers {
+				for _, k := range w.Inflight {
+					if k == key {
+						return w.ID, nil
+					}
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return "", fmt.Errorf("job %s never assigned to a worker within %s", key, timeout)
+}
+
+// waitWorkerRunning polls a worker's own job list until something is
+// actually executing there.
+func waitWorkerRunning(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		body, code, err := get(base + "/jobs")
+		if err == nil && code == http.StatusOK {
+			var list struct {
+				Jobs []struct {
+					State string `json:"state"`
+				} `json:"jobs"`
+			}
+			if json.Unmarshal([]byte(body), &list) == nil {
+				for _, j := range list.Jobs {
+					if j.State == "running" {
+						return nil
+					}
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("worker %s never started executing within %s", base, timeout)
+}
+
+// metricValue extracts an integer counter from a /metrics body.
+func metricValue(metrics, name string) (int, error) {
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v int
+			if _, err := fmt.Sscanf(line, name+" %d", &v); err != nil {
+				return 0, fmt.Errorf("parse %q: %w", line, err)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+// referenceRun executes a spec to completion on a plain memory-only
+// instance and returns the rendered result.
+func referenceRun(bin, spec string) (string, error) {
+	cmd, base, err := startSlipd(bin, "-no-persist")
+	if err != nil {
+		return "", err
+	}
+	defer cmd.Process.Kill()
+	if err := waitReady(base, 10*time.Second); err != nil {
+		return "", err
+	}
+	id, _, _, err := submit(base, spec)
+	if err != nil {
+		return "", err
+	}
+	if err := waitDone(base, id, 3*time.Minute); err != nil {
+		return "", err
+	}
+	result, code, err := get(base + "/jobs/" + id + "/result")
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", fmt.Errorf("GET result = %d", code)
+	}
+	return result, stopGracefully(cmd)
+}
+
+// startSlipd launches the daemon on a free port and returns the running
+// process plus its base URL.
+func startSlipd(bin string, extra ...string) (*exec.Cmd, string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	args := append([]string{"-addr", addr, "-workers", "1", "-drain", "2m"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("start %s: %w", bin, err)
+	}
+	return cmd, "http://" + addr, nil
+}
+
+// stopGracefully SIGTERMs the daemon and requires a clean drain.
+func stopGracefully(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("slipd exited non-zero after SIGTERM: %w", err)
+		}
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("slipd did not exit within 2m of SIGTERM")
+	}
+	return nil
+}
+
+// submit POSTs a spec and returns the new job's id, cache key, and
+// whether it was served from the result cache.
+func submit(base, spec string) (id, key string, cached bool, err error) {
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return "", "", false, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", "", false, fmt.Errorf("POST /jobs = %d: %s", resp.StatusCode, body)
+	}
+	var sr struct {
+		Job struct {
+			ID  string `json:"id"`
+			Key string `json:"key"`
+		} `json:"job"`
+		Cached bool `json:"cached"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return "", "", false, fmt.Errorf("decode submit response: %w (%s)", err, body)
+	}
+	return sr.Job.ID, sr.Job.Key, sr.Cached, nil
+}
+
+// waitReady polls /readyz, which only turns 200 after journal replay.
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if _, code, err := get(base + "/readyz"); err == nil && code == http.StatusOK {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("%s/readyz not 200 within %s", base, timeout)
+}
+
+func waitDone(base, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		body, code, err := get(base + "/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("GET /jobs/%s = %d: %s", id, code, body)
+		}
+		var v struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			return err
+		}
+		switch v.State {
+		case "done":
+			return nil
+		case "failed":
+			return fmt.Errorf("job %s failed: %s", id, v.Error)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s not done within %s", id, timeout)
+}
+
+func get(url string) (string, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, err
+	}
+	return string(b), resp.StatusCode, nil
+}
