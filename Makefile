@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race verify bench smoke smoke-fleet fuzz
+.PHONY: build test test-short vet race verify bench bench-check smoke smoke-fleet fuzz
 
 build:
 	$(GO) build ./...
@@ -19,20 +19,45 @@ vet:
 	$(GO) vet ./...
 
 # The experiment runner, pool, validate checkup, slipd server, journal
-# store, retrying client, and fleet coordinator fan work out across
-# goroutines; keep them race-clean. -short skips only the paper-scale
-# shape tests (simulation numbers, no extra concurrency), so every racy
-# path is still exercised and the instrumented run stays within the go
-# test timeout.
+# store, retrying client, fleet coordinator, and now the sim engine's
+# pooled context workers fan work out across goroutines; keep them
+# race-clean. -short skips only the paper-scale shape tests (simulation
+# numbers, no extra concurrency), so every racy path is still exercised
+# and the instrumented run stays within the go test timeout.
 race:
-	$(GO) test -race -short ./internal/experiments/... ./internal/pool/... ./internal/validate/... ./internal/server/... ./internal/store/... ./internal/client/... ./internal/cluster/...
+	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/pool/... ./internal/validate/... ./internal/server/... ./internal/store/... ./internal/client/... ./internal/cluster/...
 
 verify: build test vet race
 
-# One iteration per benchmark keeps this quick; the JSON lands in
-# BENCH_PR2.json for diffable tracking across PRs.
+# Benchmark baselines are committed as BENCH_PR$(PR).json, one per PR that
+# moves performance. BENCHTIME is multi-iteration on purpose: -benchtime=1x
+# made ns/op a single noisy sample and the ratchet flapped.
+PR ?= 6
+BENCH_OUT ?= BENCH_PR$(PR).json
+BENCHTIME ?= 3x
+BENCH_COUNT ?= 2
+
+# Refuse to overwrite a committed baseline: regenerating an old
+# BENCH_PRn.json in place silently rewrites history the ratchet gates
+# against. Pick a new BENCH_OUT (or PR=n+1), or pass FORCE=1 to refresh a
+# baseline intentionally.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . | $(GO) run ./tools/benchjson -o BENCH_PR2.json
+	@if [ -z "$(FORCE)" ] && git ls-files --error-unmatch $(BENCH_OUT) >/dev/null 2>&1; then \
+		echo "bench: $(BENCH_OUT) is a committed baseline; set BENCH_OUT/PR for a new file or FORCE=1 to overwrite"; \
+		exit 1; \
+	fi
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCH_COUNT) -run '^$$' . | $(GO) run ./tools/benchjson -o $(BENCH_OUT)
+
+# CI perf ratchet: run the suite into an untracked candidate file and
+# compare against the newest committed BENCH_PRn.json. allocs/op is
+# deterministic in this simulator, so it gets the tight 10% gate; ns/op
+# varies 10-20% run to run even on an idle host, so its default gate only
+# catches gross slowdowns (tighten with NS_TOL=0.10 on a quiet machine).
+NS_TOL ?= 0.30
+ALLOCS_TOL ?= 0.10
+bench-check:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCH_COUNT) -run '^$$' . | $(GO) run ./tools/benchjson -o BENCH_candidate.json
+	$(GO) run ./tools/benchdiff -baseline latest -new BENCH_candidate.json -ns-tol $(NS_TOL) -allocs-tol $(ALLOCS_TOL)
 
 # Short fuzz passes over the parser surfaces (one target per invocation:
 # the go tool runs a single fuzz target at a time).

@@ -253,11 +253,11 @@ func (c *Controller) RPickupRegion(p *machine.Proc, seq int64, cfg Config) {
 // seq. The wait (normally negligible) is charged as job-wait time.
 func (c *Controller) AAwaitRegion(p *machine.Proc, seq int64) {
 	poll := c.M.P.SpinPollCycles
-	p.WithCategory(stats.CatJobWait, func() {
-		for c.reg(p).RRegion < seq {
-			p.Wait(poll)
-		}
-	})
+	old := p.SetCategory(stats.CatJobWait)
+	for c.reg(p).RRegion < seq {
+		p.Wait(poll)
+	}
+	p.SetCategory(old)
 }
 
 // AStartRegion is the A-stream's region-entry hook: a pending recovery
@@ -360,25 +360,23 @@ func (c *Controller) InsertTokenAt(p *machine.Proc) {
 // observed and absorbed (the caller should abandon the current region).
 func (c *Controller) ABarrier(p *machine.Proc) (recovered bool) {
 	poll := c.M.P.SpinPollCycles
-	p.WithCategory(stats.CatBarrier, func() {
-		for {
-			r := c.reg(p)
-			if r.Recover != 0 {
-				r.ABarriers = r.RBarriers
-				r.Recover = 0
-				r.AIdle = 1
-				r.SysTaken = r.SysPosted
-				recovered = true
-				return
-			}
-			if r.ABarriers < r.Allowance+r.RBarriers {
-				r.ABarriers++
-				return
-			}
-			p.Wait(poll)
+	old := p.SetCategory(stats.CatBarrier)
+	defer p.SetCategory(old)
+	for {
+		r := c.reg(p)
+		if r.Recover != 0 {
+			r.ABarriers = r.RBarriers
+			r.Recover = 0
+			r.AIdle = 1
+			r.SysTaken = r.SysPosted
+			return true
 		}
-	})
-	return recovered
+		if r.ABarriers < r.Allowance+r.RBarriers {
+			r.ABarriers++
+			return false
+		}
+		p.Wait(poll)
+	}
 }
 
 // ARecoveryPending lets the A-stream poll for a recovery request at chunk
@@ -406,23 +404,23 @@ func (c *Controller) AAbsorbRecovery(p *machine.Proc) {
 // then writes it and posts the semaphore. Wait time is scheduling overhead.
 func (c *Controller) RPublishDecision(p *machine.Proc, lo, hi int64) {
 	poll := c.M.P.SpinPollCycles
-	p.WithCategory(stats.CatSched, func() {
-		for {
-			r := c.reg(p)
-			if r.Recover != 0 || r.AIdle != 0 {
-				// The A-stream is being recovered or has abandoned the
-				// region; drop the handshake so the R-stream cannot deadlock
-				// against an absent consumer.
-				return
-			}
-			if r.SysPosted == r.SysTaken {
-				r.SchedLo, r.SchedHi = lo, hi
-				r.SysPosted++
-				return
-			}
-			p.Wait(poll)
+	old := p.SetCategory(stats.CatSched)
+	defer p.SetCategory(old)
+	for {
+		r := c.reg(p)
+		if r.Recover != 0 || r.AIdle != 0 {
+			// The A-stream is being recovered or has abandoned the
+			// region; drop the handshake so the R-stream cannot deadlock
+			// against an absent consumer.
+			return
 		}
-	})
+		if r.SysPosted == r.SysTaken {
+			r.SchedLo, r.SchedHi = lo, hi
+			r.SysPosted++
+			return
+		}
+		p.Wait(poll)
+	}
 }
 
 // ATakeDecision blocks the A-stream until its R-stream publishes the next
@@ -430,23 +428,20 @@ func (c *Controller) RPublishDecision(p *machine.Proc, lo, hi int64) {
 // false if a recovery request interrupted the wait.
 func (c *Controller) ATakeDecision(p *machine.Proc) (lo, hi int64, ok bool) {
 	poll := c.M.P.SpinPollCycles
-	p.WithCategory(stats.CatSched, func() {
-		for {
-			r := c.reg(p)
-			if r.Recover != 0 {
-				ok = false
-				return
-			}
-			if r.SysPosted > r.SysTaken {
-				lo, hi = r.SchedLo, r.SchedHi
-				r.SysTaken++
-				ok = true
-				return
-			}
-			p.Wait(poll)
+	old := p.SetCategory(stats.CatSched)
+	defer p.SetCategory(old)
+	for {
+		r := c.reg(p)
+		if r.Recover != 0 {
+			return 0, 0, false
 		}
-	})
-	return lo, hi, ok
+		if r.SysPosted > r.SysTaken {
+			lo, hi = r.SchedLo, r.SchedHi
+			r.SysTaken++
+			return lo, hi, true
+		}
+		p.Wait(poll)
+	}
 }
 
 // InjectDivergence forces a recovery request on p's pair (test/failure

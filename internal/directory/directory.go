@@ -10,7 +10,10 @@
 // package; this package owns the protocol state.
 package directory
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // State is a directory entry state.
 type State uint8
@@ -122,18 +125,18 @@ func (e *Entry) SharerCount() int {
 
 // OtherSharers returns the nodes (excluding exclude) holding copies.
 func (e *Entry) OtherSharers(exclude int) []int {
-	var out []int
+	return e.AppendOtherSharers(nil, exclude)
+}
+
+// AppendOtherSharers appends the nodes (excluding exclude) holding copies
+// to dst and returns the extended slice. Callers on the coherence hot path
+// pass a reusable scratch buffer so the invalidation fan-out allocates
+// nothing.
+func (e *Entry) AppendOtherSharers(dst []int, exclude int) []int {
 	for m := e.Sharers &^ (1 << uint(exclude)); m != 0; m &= m - 1 {
-		// index of lowest set bit
-		b := m & (-m)
-		i := 0
-		for b > 1 {
-			b >>= 1
-			i++
-		}
-		out = append(out, i)
+		dst = append(dst, bits.TrailingZeros64(m))
 	}
-	return out
+	return dst
 }
 
 // Check validates entry invariants, returning an error describing the first

@@ -97,6 +97,11 @@ type Machine struct {
 	Faults *faults.Injector
 
 	lineShift uint
+
+	// sharerScratch backs the invalidation fan-out's sharer list. Exactly
+	// one processor executes at a time, so a single machine-wide scratch
+	// buffer keeps the directory hot path allocation-free.
+	sharerScratch [64]int
 }
 
 // New builds a machine from params.
@@ -110,6 +115,8 @@ func New(p Params) *Machine {
 		Space: shmem.NewSpace(),
 		Dir:   directory.New(p.Nodes),
 		Trace: trace.New(p.TraceCap),
+		Nodes: make([]*Node, 0, p.Nodes),
+		Procs: make([]*Proc, 0, 2*p.Nodes),
 	}
 	for 1<<m.lineShift != p.LineBytes {
 		m.lineShift++
@@ -144,11 +151,21 @@ func New(p Params) *Machine {
 // LineOf maps an address to its cache line number.
 func (m *Machine) LineOf(addr shmem.Addr) uint64 { return uint64(addr) >> m.lineShift }
 
+// procNames holds preformatted context names for every possible processor
+// (at most 64 nodes × 2), so Start does not format per run.
+var procNames = func() [128]string {
+	var names [128]string
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+	}
+	return names
+}()
+
 // Start binds a program body to processor gid; the body begins executing at
 // simulation time 0 when Run is called.
 func (m *Machine) Start(gid int, body func(*Proc)) {
 	p := m.Procs[gid]
-	p.Ctx = m.Eng.Spawn(fmt.Sprintf("p%d", gid), 0, func(*sim.Context) {
+	p.Ctx = m.Eng.Spawn(procNames[gid], 0, func(*sim.Context) {
 		p.started = true
 		p.startTime = m.Eng.Now()
 		body(p)
@@ -232,10 +249,18 @@ func (p *Proc) Wait(n sim.Time) {
 	p.Bd.Add(p.cat, n)
 }
 
-// WithCategory runs fn with wait cycles attributed to c.
-func (p *Proc) WithCategory(c stats.Category, fn func()) {
+// SetCategory sets the category charged for wait cycles and returns the
+// previous one. Hot paths bracket waits with a SetCategory/restore pair
+// instead of WithCategory so no closure is allocated per operation.
+func (p *Proc) SetCategory(c stats.Category) stats.Category {
 	old := p.cat
 	p.cat = c
+	return old
+}
+
+// WithCategory runs fn with wait cycles attributed to c.
+func (p *Proc) WithCategory(c stats.Category, fn func()) {
+	old := p.SetCategory(c)
 	fn()
 	p.cat = old
 }
@@ -407,7 +432,7 @@ func (p *Proc) dirUpgrade(line uint64, now sim.Time) sim.Time {
 	m := p.Node.M
 	e := m.Dir.Entry(line)
 	home := m.Dir.Home(line)
-	others := e.OtherSharers(p.Node.ID)
+	others := e.AppendOtherSharers(m.sharerScratch[:0], p.Node.ID)
 	// An upgrade is a round trip to the home directory without the memory
 	// data fetch.
 	var lat sim.Time
@@ -471,7 +496,7 @@ func (p *Proc) dirFetch(line uint64, write bool, now sim.Time) (*cache.Line, sim
 		// Fill from memory.
 	case directory.SharedSt:
 		if write {
-			others := e.OtherSharers(nd.ID)
+			others := e.AppendOtherSharers(m.sharerScratch[:0], nd.ID)
 			if len(others) > 0 {
 				lat += m.P.Cyc(2*m.P.NetNS + len(others)*m.P.InvalPerShNS)
 				for _, n := range others {

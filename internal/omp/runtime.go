@@ -231,17 +231,17 @@ func (rt *Runtime) terminate(master *Thread) {
 func (rt *Runtime) slaveLoop(t *Thread) {
 	poll := rt.Cfg.Machine.SpinPollCycles
 	for {
+		old := t.P.SetCategory(stats.CatJobWait)
 		var seq int64
-		t.P.WithCategory(stats.CatJobWait, func() {
-			for {
-				t.P.Load(rt.jobSeq.Addr(0))
-				seq = rt.jobSeq.Get(0)
-				if seq < 0 || seq > t.lastSeq {
-					return
-				}
-				t.P.Wait(poll)
+		for {
+			t.P.Load(rt.jobSeq.Addr(0))
+			seq = rt.jobSeq.Get(0)
+			if seq < 0 || seq > t.lastSeq {
+				break
 			}
-		})
+			t.P.Wait(poll)
+		}
+		t.P.SetCategory(old)
 		if seq < 0 {
 			return
 		}

@@ -121,29 +121,28 @@ func (t *Thread) forDynamic(chunk, lo, hi int, body func(i int), guided bool) {
 	t.loopIdx++
 	for {
 		var cLo, cHi int
-		t.P.WithCategory(stats.CatSched, func() {
-			if guided {
-				// Guided chunks depend on the remaining count, so the
-				// scheduler serializes through a critical section (§3.2.2).
-				t.lockAcquire(ls.lock, stats.CatSched)
-				t.P.Load(ls.next.Addr(0))
-				cLo = int(ls.next.Get(0))
-				remaining := hi - cLo
-				size := chunk
-				if g := remaining / (2 * rt.teamSize); g > size {
-					size = g
-				}
-				cHi = cLo + size
-				if cHi > hi {
-					cHi = hi
-				}
-				if remaining > 0 {
-					t.P.Store(ls.next.Addr(0))
-					ls.next.Set(0, int64(cHi))
-				}
-				t.lockRelease(ls.lock)
-				return
+		old := t.P.SetCategory(stats.CatSched)
+		if guided {
+			// Guided chunks depend on the remaining count, so the
+			// scheduler serializes through a critical section (§3.2.2).
+			t.lockAcquire(ls.lock, stats.CatSched)
+			t.P.Load(ls.next.Addr(0))
+			cLo = int(ls.next.Get(0))
+			remaining := hi - cLo
+			size := chunk
+			if g := remaining / (2 * rt.teamSize); g > size {
+				size = g
 			}
+			cHi = cLo + size
+			if cHi > hi {
+				cHi = hi
+			}
+			if remaining > 0 {
+				t.P.Store(ls.next.Addr(0))
+				ls.next.Set(0, int64(cHi))
+			}
+			t.lockRelease(ls.lock)
+		} else {
 			// Fixed-size dynamic chunks: one atomic fetch-and-add on the
 			// shared counter; serialization comes from the counter line
 			// migrating between CMPs.
@@ -152,7 +151,8 @@ func (t *Thread) forDynamic(chunk, lo, hi int, body func(i int), guided bool) {
 			if cHi > hi {
 				cHi = hi
 			}
-		})
+		}
+		t.P.SetCategory(old)
 		if t.ssActive {
 			rt.SS.RPublishDecision(t.P, int64(cLo), int64(cHi))
 		}
@@ -229,18 +229,18 @@ func (t *Thread) ForAffinity(chunk, lo, hi int, body func(i int)) {
 	ls := rt.affinityInstance(int(t.lastSeq), t.loopIdx, lo, hi)
 	t.loopIdx++
 	claim := func(victim int) (cLo, cHi int, ok bool) {
-		t.P.WithCategory(stats.CatSched, func() {
-			end := int(ls.end.Get(victim)) // block bounds are loop constants
-			got := int(t.fetchAdd(ls.next, victim, int64(chunk)))
-			if got < end {
-				cLo = got
-				cHi = got + chunk
-				if cHi > end {
-					cHi = end
-				}
-				ok = true
+		old := t.P.SetCategory(stats.CatSched)
+		end := int(ls.end.Get(victim)) // block bounds are loop constants
+		got := int(t.fetchAdd(ls.next, victim, int64(chunk)))
+		if got < end {
+			cLo = got
+			cHi = got + chunk
+			if cHi > end {
+				cHi = end
 			}
-		})
+			ok = true
+		}
+		t.P.SetCategory(old)
 		return cLo, cHi, ok
 	}
 	work := func(cLo, cHi int) {
@@ -260,17 +260,17 @@ func (t *Thread) ForAffinity(chunk, lo, hi int, body func(i int)) {
 	// Phase 2: steal from the victim with the most remaining work.
 	for {
 		victim, best := -1, 0
-		t.P.WithCategory(stats.CatSched, func() {
-			for v := 0; v < rt.teamSize; v++ {
-				if v == t.id {
-					continue
-				}
-				t.P.Load(ls.next.Addr(v))
-				if left := int(ls.end.Get(v) - ls.next.Get(v)); left > best {
-					victim, best = v, left
-				}
+		old := t.P.SetCategory(stats.CatSched)
+		for v := 0; v < rt.teamSize; v++ {
+			if v == t.id {
+				continue
 			}
-		})
+			t.P.Load(ls.next.Addr(v))
+			if left := int(ls.end.Get(v) - ls.next.Get(v)); left > best {
+				victim, best = v, left
+			}
+		}
+		t.P.SetCategory(old)
 		if victim < 0 {
 			break
 		}

@@ -152,31 +152,31 @@ func (t *Thread) teamBarrier() {
 	rt := t.rt
 	n := int64(rt.teamSize)
 	poll := rt.Cfg.Machine.SpinPollCycles
-	t.P.WithCategory(stats.CatBarrier, func() {
-		mySense := 1 - t.barSense
-		if t.fetchAdd(rt.barCount, 0, 1)+1 == n {
-			// Global completion: pending global-sync tokens materialize in
-			// the pair registers now, while the other R-streams are still
-			// paying their wake-up misses.
-			for _, p := range rt.g0Pending {
-				rt.SS.InsertTokenAt(p)
-			}
-			rt.g0Pending = rt.g0Pending[:0]
-			t.P.Store(rt.barCount.Addr(0))
-			rt.barCount.Set(0, 0)
-			t.P.Store(rt.barSense.Addr(0))
-			rt.barSense.Set(0, mySense)
-		} else {
-			for {
-				t.P.Load(rt.barSense.Addr(0))
-				if rt.barSense.Get(0) == mySense {
-					break
-				}
-				t.P.Wait(poll)
-			}
+	old := t.P.SetCategory(stats.CatBarrier)
+	mySense := 1 - t.barSense
+	if t.fetchAdd(rt.barCount, 0, 1)+1 == n {
+		// Global completion: pending global-sync tokens materialize in
+		// the pair registers now, while the other R-streams are still
+		// paying their wake-up misses.
+		for _, p := range rt.g0Pending {
+			rt.SS.InsertTokenAt(p)
 		}
-		t.barSense = mySense
-	})
+		rt.g0Pending = rt.g0Pending[:0]
+		t.P.Store(rt.barCount.Addr(0))
+		rt.barCount.Set(0, 0)
+		t.P.Store(rt.barSense.Addr(0))
+		rt.barSense.Set(0, mySense)
+	} else {
+		for {
+			t.P.Load(rt.barSense.Addr(0))
+			if rt.barSense.Get(0) == mySense {
+				break
+			}
+			t.P.Wait(poll)
+		}
+	}
+	t.barSense = mySense
+	t.P.SetCategory(old)
 }
 
 // Critical executes body in the unnamed critical section. A-streams skip
@@ -287,24 +287,29 @@ func (t *Thread) ForOrdered(lo, hi int, body func(i int, ordered func(func()))) 
 	cell := rt.orderedCell(int(t.lastSeq), t.orderedIdx, lo)
 	t.orderedIdx++
 	poll := rt.Cfg.Machine.SpinPollCycles
-	t.ForSched(Static, 0, lo, hi, false, func(i int) {
-		body(i, func(fn func()) {
-			if t.isA || t.abandoned {
-				return
+	// One ordered closure per loop instance, not per iteration: the current
+	// iteration number flows through cur.
+	cur := lo
+	ordered := func(fn func()) {
+		if t.isA || t.abandoned {
+			return
+		}
+		old := t.P.SetCategory(stats.CatLock)
+		for {
+			t.P.Load(cell.Addr(0))
+			if cell.Get(0) == int64(cur) {
+				break
 			}
-			t.P.WithCategory(stats.CatLock, func() {
-				for {
-					t.P.Load(cell.Addr(0))
-					if cell.Get(0) == int64(i) {
-						break
-					}
-					t.P.Wait(poll)
-				}
-			})
-			fn()
-			t.P.Store(cell.Addr(0))
-			cell.Set(0, int64(i)+1)
-		})
+			t.P.Wait(poll)
+		}
+		t.P.SetCategory(old)
+		fn()
+		t.P.Store(cell.Addr(0))
+		cell.Set(0, int64(cur)+1)
+	}
+	t.ForSched(Static, 0, lo, hi, false, func(i int) {
+		cur = i
+		body(i, ordered)
 	})
 }
 
@@ -414,19 +419,19 @@ type Lock struct {
 // lockAcquire spins until the lock is taken, charging waits to cat.
 func (t *Thread) lockAcquire(l *Lock, cat stats.Category) {
 	poll := t.rt.Cfg.Machine.SpinPollCycles
-	t.P.WithCategory(cat, func() {
-		for {
-			t.P.Load(l.w.Addr(0))
+	old := t.P.SetCategory(cat)
+	for {
+		t.P.Load(l.w.Addr(0))
+		if l.w.Get(0) == 0 {
+			t.P.RMW(l.w.Addr(0))
 			if l.w.Get(0) == 0 {
-				t.P.RMW(l.w.Addr(0))
-				if l.w.Get(0) == 0 {
-					l.w.Set(0, 1)
-					return
-				}
+				l.w.Set(0, 1)
+				t.P.SetCategory(old)
+				return
 			}
-			t.P.Wait(poll)
 		}
-	})
+		t.P.Wait(poll)
+	}
 }
 
 // lockRelease frees the lock.

@@ -10,11 +10,17 @@
 // order on every run. Because only one context executes at a time, code
 // running inside contexts may freely share simulator data structures
 // without locks.
+//
+// The event heap and context plumbing are allocation-free on the hot path:
+// events are plain values in a concrete 4-ary heap (no container/heap
+// interface boxing), and the goroutine + channel pair backing each context
+// is pooled across engines, so repeated simulation runs reuse the same
+// parked workers instead of spawning fresh ones.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 )
 
 // Time is a simulation timestamp, measured in processor clock cycles.
@@ -29,25 +35,70 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []event
+// eventHeap is a 4-ary min-heap of events ordered by (at, seq). A concrete
+// element type keeps Push/Pop free of interface{} boxing — with
+// container/heap every scheduled event cost two heap allocations, which
+// dominated the simulator's allocation profile. The wider fan-out also
+// halves the tree depth versus a binary heap, trading cheap sibling
+// comparisons for pointer-chasing sift steps.
+type eventHeap struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by time, breaking ties by insertion sequence so event
+// order is identical on every run.
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h.less(i, p) {
+			break
+		}
+		h.ev[i], h.ev[p] = h.ev[p], h.ev[i]
+		i = p
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() event {
+	root := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev[n] = event{} // drop fn/ctx references for the GC
+	h.ev = h.ev[:n]
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, min) {
+				min = c
+			}
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h.ev[i], h.ev[min] = h.ev[min], h.ev[i]
+		i = min
+	}
+	return root
 }
+
+// initialHeapCap sizes the event slice so steady-state simulations (a few
+// pending events per context) never grow it.
+const initialHeapCap = 256
 
 // Engine is a discrete-event simulator.
 type Engine struct {
@@ -61,7 +112,10 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{
+		yield:  make(chan struct{}),
+		events: eventHeap{ev: make([]event, 0, initialHeapCap)},
+	}
 }
 
 // Now returns the current simulation time.
@@ -73,7 +127,7 @@ func (e *Engine) schedule(at Time, ctx *Context, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, ctx: ctx, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, ctx: ctx, fn: fn})
 }
 
 // At schedules fn to run at absolute simulation time at. fn runs in engine
@@ -84,18 +138,10 @@ func (e *Engine) At(at Time, fn func()) { e.schedule(at, nil, fn) }
 // Contexts must be spawned before Run (or from a running context or
 // callback); fn receives the context for parking operations.
 func (e *Engine) Spawn(name string, start Time, fn func(*Context)) *Context {
-	c := &Context{
-		eng:  e,
-		name: name,
-		run:  make(chan struct{}),
-	}
+	w := getWorker()
+	c := &Context{eng: e, name: name, run: w.run, fn: fn}
+	w.c = c
 	e.contexts = append(e.contexts, c)
-	go func() {
-		<-c.run // wait for first dispatch
-		fn(c)
-		c.finished = true
-		e.yield <- struct{}{}
-	}()
 	e.schedule(start, c, nil)
 	return c
 }
@@ -103,15 +149,17 @@ func (e *Engine) Spawn(name string, start Time, fn func(*Context)) *Context {
 // Run executes events until the heap is empty. It returns an error if
 // unfinished contexts remain when the heap drains (a deadlock: some context
 // parked without a scheduled wake-up, which indicates a bug in the caller's
-// synchronization code).
+// synchronization code). On the deadlock path the engine tears the parked
+// contexts down before returning, so their goroutines are reclaimed instead
+// of leaking blocked on a dispatch that will never come.
 func (e *Engine) Run() error {
 	if e.running {
 		return fmt.Errorf("sim: engine already running")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
+	for len(e.events.ev) > 0 {
+		ev := e.events.pop()
 		e.now = ev.at
 		if ev.fn != nil {
 			ev.fn()
@@ -126,10 +174,39 @@ func (e *Engine) Run() error {
 	}
 	for _, c := range e.contexts {
 		if !c.finished {
-			return fmt.Errorf("sim: deadlock: context %q parked with no pending event at t=%d", c.name, e.now)
+			err := fmt.Errorf("sim: deadlock: context %q parked with no pending event at t=%d", c.name, e.now)
+			e.teardown()
+			return err
 		}
 	}
 	return nil
+}
+
+// Close tears down any unfinished contexts, releasing their goroutines back
+// to the worker pool. It is a no-op on an engine whose contexts all ran to
+// completion; Run invokes it automatically when it detects a deadlock, so
+// explicit calls are only needed when an engine is abandoned without being
+// run (or after Run returned an unrelated error). Close must not be called
+// while Run is executing.
+func (e *Engine) Close() {
+	if e.running {
+		panic("sim: Close called on a running engine")
+	}
+	e.teardown()
+}
+
+// teardown aborts every unfinished context: each is dispatched one last
+// time with the abort flag set, unwinds out of its call stack (via the
+// abortPark panic recovered by its worker), and yields back finished.
+func (e *Engine) teardown() {
+	for _, c := range e.contexts {
+		if c.finished {
+			continue
+		}
+		c.aborted = true
+		c.run <- struct{}{}
+		<-e.yield
+	}
 }
 
 // Finished reports whether every spawned context has completed.
@@ -142,12 +219,94 @@ func (e *Engine) Finished() bool {
 	return true
 }
 
+// ---- Context worker pool ----------------------------------------------------
+
+// worker owns the goroutine and run channel a context executes on. Workers
+// are pooled across engines: when a context finishes, its worker parks on
+// the free list and the next Spawn (from any engine) reuses it, so the
+// per-run cost of standing up a machine does not include goroutine and
+// channel churn — and, because aborted contexts unwind back to their
+// worker, even deadlocked runs return their goroutines to the pool.
+type worker struct {
+	run chan struct{}
+	c   *Context // context currently bound to this worker
+}
+
+// workerPool is a bounded free list rather than a sync.Pool: a sync.Pool
+// may drop entries at GC, which would strand each dropped worker's
+// goroutine blocked on a run channel nobody holds. Overflow workers simply
+// exit their goroutine.
+var workerPool struct {
+	sync.Mutex
+	free []*worker
+}
+
+// maxPooledWorkers bounds the free list. Sized for the largest concurrent
+// simulation fan-out (64 nodes × 2 procs × a worker-pool of runs).
+const maxPooledWorkers = 1024
+
+func getWorker() *worker {
+	workerPool.Lock()
+	if n := len(workerPool.free); n > 0 {
+		w := workerPool.free[n-1]
+		workerPool.free[n-1] = nil
+		workerPool.free = workerPool.free[:n-1]
+		workerPool.Unlock()
+		return w
+	}
+	workerPool.Unlock()
+	w := &worker{run: make(chan struct{})}
+	go w.loop()
+	return w
+}
+
+// abortPark is the panic value used to unwind an aborted context out of a
+// park point; it never escapes the worker's recover.
+type abortPark struct{}
+
+// loop is the worker goroutine: receive a dispatch, run the bound context's
+// body to completion (or unwind it on abort), yield, then return to the
+// pool for the next Spawn.
+func (w *worker) loop() {
+	for {
+		<-w.run
+		c := w.c
+		if !c.aborted {
+			c.runBody()
+		}
+		c.finished = true
+		c.eng.yield <- struct{}{}
+		w.c = nil
+		workerPool.Lock()
+		if len(workerPool.free) >= maxPooledWorkers {
+			workerPool.Unlock()
+			return
+		}
+		workerPool.free = append(workerPool.free, w)
+		workerPool.Unlock()
+	}
+}
+
+// runBody executes the context function, absorbing the abort unwind.
+func (c *Context) runBody() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortPark); !ok {
+				panic(r)
+			}
+		}
+	}()
+	c.fn(c)
+}
+
 // Context is a simulated thread of execution managed by an Engine.
 type Context struct {
 	eng      *Engine
 	name     string
-	run      chan struct{}
+	run      chan struct{} // the bound worker's dispatch channel
+	fn       func(*Context)
 	finished bool
+	aborted  bool
 }
 
 // Name returns the context's debug name.
@@ -159,10 +318,14 @@ func (c *Context) Engine() *Engine { return c.eng }
 // Now returns the current simulation time.
 func (c *Context) Now() Time { return c.eng.now }
 
-// park suspends the context until the engine dispatches it again.
+// park suspends the context until the engine dispatches it again. If the
+// engine is tearing down, the context unwinds instead of resuming.
 func (c *Context) park() {
 	c.eng.yield <- struct{}{}
 	<-c.run
+	if c.aborted {
+		panic(abortPark{})
+	}
 }
 
 // WaitUntil parks the context until absolute time at (no-op if at <= now).

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -217,6 +218,117 @@ func TestManyContextsDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("non-deterministic ordering: %v vs %v", a, b)
 		}
+	}
+}
+
+// deadlockRun drives an engine into the deadlock path: the context parks
+// without a scheduled wake-up (the synchronization bug Run must report).
+func deadlockRun(t *testing.T) {
+	t.Helper()
+	e := NewEngine()
+	e.Spawn("stuck", 0, func(c *Context) {
+		c.Advance(1)
+		c.park()
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+	if !e.Finished() {
+		t.Fatal("teardown left unfinished contexts")
+	}
+}
+
+func TestDeadlockReported(t *testing.T) { deadlockRun(t) }
+
+// Repeated deadlock-path runs must not accumulate goroutines: the engine
+// teardown unwinds parked contexts and their workers return to the pool.
+func TestDeadlockTeardownDoesNotLeakGoroutines(t *testing.T) {
+	deadlockRun(t) // warm the worker pool
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	const runs = 50
+	for i := 0; i < runs; i++ {
+		deadlockRun(t)
+	}
+	runtime.GC()
+	after := runtime.NumGoroutine()
+	// Pooled workers persist by design (bounded), so allow a little slack —
+	// but nothing close to one leaked goroutine per deadlocked run.
+	if after > before+10 {
+		t.Fatalf("goroutines grew %d -> %d over %d deadlock runs", before, after, runs)
+	}
+}
+
+// Teardown unwinds the context stack, so deferred cleanups inside the
+// context body still execute.
+func TestTeardownRunsDeferredCleanups(t *testing.T) {
+	e := NewEngine()
+	cleaned := false
+	e.Spawn("p", 0, func(c *Context) {
+		defer func() { cleaned = true }()
+		c.Advance(1)
+		c.park()
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run during teardown")
+	}
+}
+
+// Close on an engine that never ran must release contexts whose bodies
+// never started, without executing them.
+func TestCloseReleasesUnstartedContexts(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Spawn("idle", 0, func(c *Context) { ran = true })
+	e.Close()
+	if ran {
+		t.Fatal("aborted context body ran")
+	}
+	if !e.Finished() {
+		t.Fatal("context not finished after Close")
+	}
+}
+
+func TestCloseAfterCleanRunIsNoop(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", 0, func(c *Context) { c.Advance(5) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if e.Now() != 5 {
+		t.Fatalf("Close disturbed engine state: now=%d", e.Now())
+	}
+}
+
+// The event dispatch hot path must not allocate: scheduling, popping, and
+// the park/resume handshake are all reuse of preallocated state. The
+// per-run budget covers engine construction only and must not scale with
+// the event count.
+func TestEventDispatchAllocFree(t *testing.T) {
+	// Warm the worker pool so the first-ever goroutine spawn is excluded.
+	warm := NewEngine()
+	warm.Spawn("warm", 0, func(c *Context) { c.Advance(1) })
+	if err := warm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	const events = 2000
+	avg := testing.AllocsPerRun(10, func() {
+		e := NewEngine()
+		e.Spawn("p", 0, func(c *Context) {
+			for i := 0; i < events; i++ {
+				c.Advance(1)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 16 {
+		t.Fatalf("engine run with %d events cost %.0f allocs; want setup-only (<= 16)", events, avg)
 	}
 }
 
