@@ -19,20 +19,21 @@ vet:
 	$(GO) vet ./...
 
 # The experiment runner, pool, validate checkup, slipd server, journal
-# store, retrying client, fleet coordinator, and now the sim engine's
-# pooled context workers fan work out across goroutines; keep them
+# store, retrying client, fleet coordinator, the sim engine's pooled
+# context workers, and the omp task deques (concurrent steals under
+# injected stragglers) fan work out across goroutines; keep them
 # race-clean. -short skips only the paper-scale shape tests (simulation
 # numbers, no extra concurrency), so every racy path is still exercised
 # and the instrumented run stays within the go test timeout.
 race:
-	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/pool/... ./internal/validate/... ./internal/server/... ./internal/store/... ./internal/client/... ./internal/cluster/...
+	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/pool/... ./internal/validate/... ./internal/server/... ./internal/store/... ./internal/client/... ./internal/cluster/... ./internal/omp/...
 
 verify: build test vet race
 
 # Benchmark baselines are committed as BENCH_PR$(PR).json, one per PR that
 # moves performance. BENCHTIME is multi-iteration on purpose: -benchtime=1x
 # made ns/op a single noisy sample and the ratchet flapped.
-PR ?= 6
+PR ?= 7
 BENCH_OUT ?= BENCH_PR$(PR).json
 BENCHTIME ?= 3x
 BENCH_COUNT ?= 2

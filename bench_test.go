@@ -259,6 +259,35 @@ func BenchmarkAblationAffinity(b *testing.B) {
 	}
 }
 
+// ---- Tasking tier: task tree vs loop baseline --------------------------------
+
+// Fig2-style cells for the tasking study: the recursive TREE task kernel
+// (default cut-off) and its TREEL loop baseline, single vs slipstream-G0,
+// with the deque counters attached so the ratchet also pins scheduler
+// behavior — a steal-count change means the victim-selection or publish
+// protocol moved, not just timing.
+func benchTasks(b *testing.B, kernel string) {
+	p := benchParams()
+	for _, tc := range []struct {
+		name string
+		cfg  omp.Config
+	}{
+		{"Single", omp.Config{Machine: p, Mode: core.ModeSingle}},
+		{"SlipG0", omp.Config{Machine: p, Mode: core.ModeSlipstream, Slipstream: core.G0}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			r := benchRun(b, kernel, tc.cfg)
+			b.ReportMetric(float64(r.TasksRun), "tasks")
+			b.ReportMetric(float64(r.Steals), "steals")
+		})
+	}
+}
+
+func BenchmarkTasksTREE(b *testing.B)  { benchTasks(b, "TREE") }
+func BenchmarkTasksTREEL(b *testing.B) { benchTasks(b, "TREEL") }
+func BenchmarkTasksEPT(b *testing.B)   { benchTasks(b, "EPT") }
+
 // EP extension: static vs dynamic under imbalance (the §3.2.2 claim).
 func BenchmarkExtensionEP(b *testing.B) {
 	p := benchParams()

@@ -6,13 +6,17 @@
 //   - an A–R synchronization sweep over token insertion points and counts,
 //     and
 //   - a chaos study sweeping a deterministic fault plan across injection
-//     rates, printing degradation curves with verification forced on.
+//     rates, printing degradation curves with verification forced on, and
+//   - a tasking study running the recursive TREE task kernel over a team
+//     size × cut-off grid against its worksharing-loop baseline, in both
+//     single and slipstream mode, reporting steals and speedups.
 //
 // Examples:
 //
 //	sweep -kernel MG -study scaling -nodes 2,4,8,16
 //	sweep -kernel CG -study tokens -tokens 0,1,2,4
 //	sweep -kernel CG -study chaos -faults 42:0,0.01,0.05,0.2
+//	sweep -study tasks -nodes 2,4,8 -cutoffs 2,4,6,8
 package main
 
 import (
@@ -32,8 +36,9 @@ import (
 func main() {
 	var (
 		kernel    = flag.String("kernel", "MG", "benchmark: BT|CG|LU|MG|SP")
-		study     = flag.String("study", "scaling", "study to run: scaling|tokens|characterize|chaos")
-		nodes     = flag.String("nodes", "2,4,8,16", "node counts for -study scaling")
+		study     = flag.String("study", "scaling", "study to run: scaling|tokens|characterize|chaos|tasks")
+		nodes     = flag.String("nodes", "2,4,8,16", "node counts for -study scaling/tasks")
+		cutoffs   = flag.String("cutoffs", "2,4,6,8", "tree cut-off depths for -study tasks")
 		tokens    = flag.String("tokens", "0,1,2,4", "token counts for -study tokens")
 		at        = flag.Int("at", 16, "node count for -study tokens/characterize/chaos")
 		scale     = flag.String("scale", "small", "problem scale: test|small|paper")
@@ -101,8 +106,26 @@ func main() {
 		if err := suite.Err(); err != nil {
 			fatal(err)
 		}
+	case "tasks":
+		teams, err := parseInts(*nodes, 1)
+		if err != nil {
+			fatal(err)
+		}
+		cuts, err := parseInts(*cutoffs, 0)
+		if err != nil {
+			fatal(err)
+		}
+		o := experiments.Options{Scale: sc, Jobs: *jobs}
+		suite, err := experiments.RunTasks(o, teams, cuts, progress)
+		if err != nil {
+			fatal(err)
+		}
+		suite.Table(os.Stdout)
+		if err := suite.Err(); err != nil {
+			fatal(err)
+		}
 	default:
-		fatal(fmt.Errorf("unknown study %q", *study))
+		fatal(fmt.Errorf("unknown study %q (valid: scaling|tokens|characterize|chaos|tasks)", *study))
 	}
 }
 

@@ -84,6 +84,8 @@ type Result struct {
 	Class      stats.Class
 	Recoveries uint64
 	Faults     uint64 // faults injected by the run's plan (0 when unarmed)
+	TasksRun   uint64 // explicit tasks executed (0 for non-tasking kernels)
+	Steals     uint64 // task deque steals (0 for non-tasking kernels)
 }
 
 // runConfig names one execution configuration of the suite.
@@ -136,6 +138,8 @@ func RunOne(k npb.Kernel, name string, cfg omp.Config, scale npb.Scale, verify b
 		Class:      rt.M.Class,
 		Recoveries: rt.SS.Recoveries(),
 		Faults:     rt.FaultsInjected(),
+		TasksRun:   rt.TasksExecuted(),
+		Steals:     rt.TaskSteals(),
 	}, nil
 }
 

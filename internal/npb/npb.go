@@ -125,12 +125,16 @@ func (k Kernel) ChunkFor(s Scale, team int) int {
 // Extensions returns the kernels implemented beyond the paper's Table 2:
 // the remaining NPB 2.3 kernels (EP, FT, IS), usable with the CLI tools
 // and the extension experiments but excluded from the paper's figures.
+// TREE, TREEL, and EPT are the task-parallel tier (see tasks.go).
 func Extensions() []Kernel {
 	return []Kernel{
 		{Name: "EP", Dynamic: true, Build: BuildEP},
 		{Name: "FT", Dynamic: true, Build: BuildFT},
 		{Name: "IS", Dynamic: true, Build: BuildIS},
 		{Name: "LUHP", Dynamic: false, Build: BuildLUHP},
+		TreeKernel(treeDefaultCutoff),
+		TreeLoopKernel(),
+		{Name: "EPT", Dynamic: false, Build: BuildEPTaskloop},
 	}
 }
 

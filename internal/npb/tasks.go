@@ -1,0 +1,276 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/omp"
+)
+
+// Task-parallel kernels for the tasking tier (extensions beyond the
+// paper's Table 2, which predates OpenMP 3.0 tasking):
+//
+//   - TREE: a recursive binary tree-sum over a shared array. Inner nodes
+//     down to the cut-off depth spawn two child tasks, taskwait, and
+//     combine the partial sums through shared heap slots; nodes at the
+//     cut-off sum their array segment directly. The cut-off controls task
+//     granularity — deeper cut-offs mean more, smaller tasks and more
+//     per-task runtime overhead, the pattern the tasking study sweeps.
+//   - TREEL: the same computation as a worksharing loop over the leaf
+//     segments plus a serial combine — the non-tasking baseline the study
+//     compares against.
+//   - EPT: the EP kernel's block loop ported to taskloop. All chunk tasks
+//     start on the master's deque, so the rest of the team acquires its
+//     work entirely by stealing.
+//
+// All three verify against serial references and run unmodified in
+// single, double, and slipstream modes.
+
+// MaxTreeCutoff bounds the cut-off depth the study surfaces accept: the
+// result heap has 2^(cutoff+1) slots and the test-scale tree is saturated
+// well below this.
+const MaxTreeCutoff = 12
+
+// treeDefaultCutoff is the cut-off used when TREE runs outside the
+// tasking study (slipsim -kernel TREE, extension tests).
+const treeDefaultCutoff = 4
+
+// treeLeafMin is the smallest leaf segment; the effective cut-off is
+// clamped so every leaf keeps at least this many elements.
+const treeLeafMin = 8
+
+func treeSizeFor(s Scale) int {
+	switch s {
+	case ScaleTest:
+		return 512
+	case ScaleSmall:
+		return 2048
+	default:
+		return 8192
+	}
+}
+
+// treeDepth clamps the requested cut-off to the tree the problem size
+// supports (n is a power of two).
+func treeDepth(n, cutoff int) int {
+	max := bits.Len(uint(n/treeLeafMin)) - 1
+	if cutoff > max {
+		return max
+	}
+	if cutoff < 0 {
+		return 0
+	}
+	return cutoff
+}
+
+// treeSegment resolves heap node k at depth d to its array segment
+// [lo, hi): each bit of k below the leading 1 picks a half.
+func treeSegment(k, d, n int) (int, int) {
+	lo, hi := 0, n
+	for b := d - 1; b >= 0; b-- {
+		mid := (lo + hi) / 2
+		if k>>b&1 == 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, hi
+}
+
+// treeLeaf charges the leaf work for segment [lo, hi): a timed load and
+// a few cycles of private computation per element.
+func treeLeaf(t *omp.Thread, ld func(int) float64, lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		v := ld(i)
+		t.Compute(8)
+		s += v*v + 0.5*v
+	}
+	return s
+}
+
+// treeInit fills the input array deterministically (untimed setup).
+func treeInit(set func(int, float64), n int) {
+	g := newLCG(20031)
+	for i := 0; i < n; i++ {
+		set(i, 2*g.f64()-1)
+	}
+}
+
+// treeSerial replays the whole tree on the host and returns the expected
+// result heap (identical addition order to both parallel versions, so
+// comparisons are exact).
+func treeSerial(x []float64, n, eff int) []float64 {
+	res := make([]float64, 2<<eff)
+	var node func(k, d int) float64
+	node = func(k, d int) float64 {
+		if d >= eff {
+			lo, hi := treeSegment(k, d, n)
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				v := x[i]
+				s += v*v + 0.5*v
+			}
+			res[k] = s
+			return s
+		}
+		s := node(2*k, d+1) + node(2*k+1, d+1)
+		res[k] = s
+		return s
+	}
+	node(1, 0)
+	return res
+}
+
+// BuildTreeTasks constructs the recursive task-tree instance at the given
+// cut-off depth.
+func BuildTreeTasks(rt *omp.Runtime, s Scale, cutoff int) *Instance {
+	n := treeSizeFor(s)
+	eff := treeDepth(n, cutoff)
+	x := rt.NewF64(n)
+	res := rt.NewF64(2 << eff)
+	treeInit(x.Set, n)
+
+	var node func(c *omp.Thread, k, d int)
+	node = func(c *omp.Thread, k, d int) {
+		if d >= eff {
+			lo, hi := treeSegment(k, d, n)
+			sum := treeLeaf(c, func(i int) float64 { return c.LdF(x, i) }, lo, hi)
+			c.StF(res, k, sum)
+			return
+		}
+		l, r := 2*k, 2*k+1
+		c.Task(func(ch *omp.Thread) { node(ch, l, d+1) })
+		c.Task(func(ch *omp.Thread) { node(ch, r, d+1) })
+		c.Taskwait()
+		c.Compute(4)
+		c.StF(res, k, c.LdF(res, l)+c.LdF(res, r))
+	}
+	program := func(mt *omp.Thread) {
+		mt.Parallel(func(t *omp.Thread) {
+			t.Master(func() {
+				t.Task(func(c *omp.Thread) { node(c, 1, 0) })
+			})
+			t.TaskBarrier()
+		})
+	}
+	verify := func() error {
+		want := treeSerial(x.Data(), n, eff)
+		return compareArrays("tree.res", res.Data()[1:], want[1:], 1e-12)
+	}
+	return &Instance{
+		Program: program,
+		Verify:  verify,
+		Norm:    func() float64 { return l2norm(res.Data()) },
+		Size:    fmt.Sprintf("n=%d leaves=%d cutoff=%d tasks", n, 1<<eff, eff),
+	}
+}
+
+// BuildTreeLoop constructs the loop baseline: the leaf segments as a
+// static worksharing loop, the inner combine serial on the master.
+func BuildTreeLoop(rt *omp.Runtime, s Scale) *Instance {
+	n := treeSizeFor(s)
+	eff := treeDepth(n, MaxTreeCutoff) // saturated tree: same leaves at every cutoff
+	leaves := 1 << eff
+	x := rt.NewF64(n)
+	res := rt.NewF64(2 << eff)
+	treeInit(x.Set, n)
+
+	program := func(mt *omp.Thread) {
+		mt.Parallel(func(t *omp.Thread) {
+			t.For(0, leaves, func(kk int) {
+				k := leaves + kk
+				lo, hi := treeSegment(k, eff, n)
+				sum := treeLeaf(t, func(i int) float64 { return t.LdF(x, i) }, lo, hi)
+				t.StF(res, k, sum)
+			})
+			t.Master(func() {
+				for k := leaves - 1; k >= 1; k-- {
+					t.Compute(4)
+					t.StF(res, k, t.LdF(res, 2*k)+t.LdF(res, 2*k+1))
+				}
+			})
+			t.Barrier()
+		})
+	}
+	verify := func() error {
+		want := treeSerial(x.Data(), n, eff)
+		return compareArrays("treel.res", res.Data()[1:], want[1:], 1e-12)
+	}
+	return &Instance{
+		Program: program,
+		Verify:  verify,
+		Norm:    func() float64 { return l2norm(res.Data()) },
+		Size:    fmt.Sprintf("n=%d leaves=%d loop baseline", n, leaves),
+	}
+}
+
+// BuildEPTaskloop constructs EP with its block loop as a taskloop: the
+// master spawns every chunk task, so all other threads steal their work.
+func BuildEPTaskloop(rt *omp.Runtime, s Scale) *Instance {
+	sz := epSizeFor(s)
+	counts := rt.NewF64(epBins)
+
+	program := func(mt *omp.Thread) {
+		mt.Parallel(func(t *omp.Thread) {
+			t.Master(func() {
+				t.TaskloopChunked(0, 0, sz.blocks, func(c *omp.Thread, clo, chi int) {
+					var local [epBins]float64
+					for b := clo; b < chi; b++ {
+						g := newLCG(uint64(b) * 1000)
+						for i := 0; i < sz.perBlock; i++ {
+							x := 2*g.f64() - 1
+							y := 2*g.f64() - 1
+							c.Compute(12)
+							s2 := x*x + y*y
+							if s2 > 1 || s2 == 0 {
+								continue
+							}
+							f := math.Sqrt(-2 * math.Log(s2) / s2)
+							gx, gy := x*f, y*f
+							c.Compute(20)
+							m := math.Max(math.Abs(gx), math.Abs(gy))
+							bin := int(m)
+							if bin >= epBins {
+								bin = epBins - 1
+							}
+							local[bin]++
+						}
+					}
+					for bin := 0; bin < epBins; bin++ {
+						c.AtomicAddF(counts, bin, local[bin])
+					}
+				})
+			})
+			t.TaskBarrier()
+		})
+	}
+	verify := func() error {
+		want := epSerial(sz, func(int) int { return 1 })
+		return compareArrays("ept.counts", counts.Data(), want, 1e-9)
+	}
+	return &Instance{
+		Program: program,
+		Verify:  verify,
+		Norm:    func() float64 { return l2norm(counts.Data()) },
+		Size:    fmt.Sprintf("blocks=%d pairs/block=%d taskloop", sz.blocks, sz.perBlock),
+	}
+}
+
+// TreeKernel returns the TREE kernel bound to a cut-off depth (the
+// tasking study sweeps this; elsewhere the default cut-off is used).
+func TreeKernel(cutoff int) Kernel {
+	return Kernel{
+		Name: "TREE",
+		Build: func(rt *omp.Runtime, s Scale) *Instance {
+			return BuildTreeTasks(rt, s, cutoff)
+		},
+	}
+}
+
+// TreeLoopKernel returns the TREEL loop baseline.
+func TreeLoopKernel() Kernel {
+	return Kernel{Name: "TREEL", Build: BuildTreeLoop}
+}

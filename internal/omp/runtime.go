@@ -70,6 +70,13 @@ type Config struct {
 	// straggler threads in the scheduler. Faults cost time, never
 	// correctness — injected runs still verify.
 	Faults *faults.Config
+
+	// TaskDequeCap overrides the per-thread task deque capacity (0 = the
+	// default; spawns past a full deque execute undeferred).
+	TaskDequeCap int
+	// TaskIDBudget overrides the per-thread, per-region explicit task ID
+	// budget (0 = the default; exhausted spawns execute undeferred).
+	TaskIDBudget int
 }
 
 // job is one published parallel region.
@@ -99,6 +106,12 @@ type Runtime struct {
 	singles   map[[2]int]*shmem.I64
 	reduces   map[[2]int]*shmem.F64
 	loops     map[[2]int]*loopState
+	taskbars  map[[2]int]*shmem.I64
+
+	// tasks is the work-stealing task scheduler state (task.go), created
+	// lazily on the first task construct so task-free programs keep a
+	// byte-identical shared-memory layout.
+	tasks *taskRT
 
 	// g0Pending holds R-streams whose global-sync token should be inserted
 	// at the current barrier's completion instant (§2.2: the token goes in
@@ -146,6 +159,7 @@ func New(cfg Config) (*Runtime, error) {
 		singles:   make(map[[2]int]*shmem.I64),
 		reduces:   make(map[[2]int]*shmem.F64),
 		loops:     make(map[[2]int]*loopState),
+		taskbars:  make(map[[2]int]*shmem.I64),
 		jobs:      []*job{nil},
 	}
 	rt.jobSeq = rt.NewI64(1)
@@ -276,6 +290,10 @@ func (t *Thread) ParallelD(dir *core.Directive, body func(*Thread)) {
 		panic("omp: nested parallel regions are not supported")
 	}
 	cfg := rt.SS.Effective(dir)
+	if rt.tasks != nil {
+		// Recycle the task tables before any thread can enter the region.
+		rt.tasks.regionReset()
+	}
 	rt.jobs = append(rt.jobs, &job{fn: body, cfg: cfg})
 	seq := int64(len(rt.jobs) - 1)
 	start := t.P.Ctx.Now()
@@ -300,6 +318,8 @@ func (t *Thread) runRegion(j *job, seq int64) {
 	t.reduceIdx = 0
 	t.loopIdx = 0
 	t.orderedIdx = 0
+	t.taskBarIdx = 0
+	t.curTask = int32(t.id) + 1 // this thread's implicit task
 	t.abandoned = false
 	defer func() { t.inRegion = false }()
 

@@ -1,0 +1,206 @@
+package omp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/machine"
+)
+
+// taskCfg builds a 4-CMP config for the given mode (G0 for slipstream).
+func taskCfg(mode core.Mode) Config {
+	p := machine.DefaultParams()
+	p.Nodes = 4
+	cfg := Config{Machine: p, Mode: mode}
+	if mode == core.ModeSlipstream {
+		cfg.Slipstream = core.G0
+	}
+	return cfg
+}
+
+// fanOut spawns n independent tasks from the master and drains them at a
+// task barrier; every task writes its own slot.
+func fanOut(t *testing.T, cfg Config, n int) *Runtime {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rt.NewF64(n)
+	err = rt.Run(func(m *Thread) {
+		m.Parallel(func(th *Thread) {
+			th.Master(func() {
+				for i := 0; i < n; i++ {
+					i := i
+					th.Task(func(c *Thread) {
+						c.Compute(200)
+						c.StF(out, i, float64(i)+1)
+					})
+				}
+			})
+			th.TaskBarrier()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if out.Get(i) != float64(i)+1 {
+			t.Fatalf("task %d never committed: out=%g", i, out.Get(i))
+		}
+	}
+	return rt
+}
+
+// Every mode must run the same task program to the same committed result:
+// in slipstream mode only R-stream commits count, so the A-streams'
+// skeleton replays must never touch the backing store.
+func TestTaskFanOutAllModes(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSingle, core.ModeDouble, core.ModeSlipstream} {
+		rt := fanOut(t, taskCfg(mode), 64)
+		if got := rt.TasksExecuted(); got != 64 {
+			t.Errorf("mode %v: executed %d tasks, want 64", mode, got)
+		}
+		if rt.TaskSteals() == 0 {
+			t.Errorf("mode %v: all tasks spawned on thread 0 but no steals happened", mode)
+		}
+	}
+}
+
+// Identical configurations must produce identical simulated time and
+// scheduler counters: the steal order is deterministic by construction.
+func TestTaskDeterminism(t *testing.T) {
+	a := fanOut(t, taskCfg(core.ModeSlipstream), 48)
+	b := fanOut(t, taskCfg(core.ModeSlipstream), 48)
+	if a.M.WallTime() != b.M.WallTime() {
+		t.Fatalf("wall time differs across identical runs: %d vs %d", a.M.WallTime(), b.M.WallTime())
+	}
+	if a.TaskSteals() != b.TaskSteals() || a.TasksExecuted() != b.TasksExecuted() {
+		t.Fatalf("scheduler counters differ: steals %d/%d executed %d/%d",
+			a.TaskSteals(), b.TaskSteals(), a.TasksExecuted(), b.TasksExecuted())
+	}
+}
+
+// treeSum runs a recursive task tree with nested taskwaits: inner nodes
+// spawn two children, wait for them, and combine their partial sums.
+func treeSum(t *testing.T, cfg Config) *Runtime {
+	t.Helper()
+	const leaves = 64 // nodes 64..127 are leaves of the heap layout
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.NewF64(2 * leaves)
+	var tree func(c *Thread, node int)
+	tree = func(c *Thread, node int) {
+		if node >= leaves {
+			c.Compute(100)
+			c.StF(res, node, float64(node))
+			return
+		}
+		l, r := 2*node, 2*node+1
+		c.Task(func(x *Thread) { tree(x, l) })
+		c.Task(func(x *Thread) { tree(x, r) })
+		c.Taskwait()
+		c.StF(res, node, c.LdF(res, l)+c.LdF(res, r))
+	}
+	err = rt.Run(func(m *Thread) {
+		m.Parallel(func(th *Thread) {
+			th.Master(func() {
+				th.Task(func(c *Thread) { tree(c, 1) })
+			})
+			th.TaskBarrier()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64((leaves + 2*leaves - 1) * leaves / 2) // sum 64..127
+	if got := res.Get(1); got != want {
+		t.Fatalf("tree sum = %g, want %g", got, want)
+	}
+	return rt
+}
+
+// The tied-task semantics under taskwait (execute descendants while
+// waiting) must produce the correct combined result in every mode —
+// including the slipstream replay of nested task sub-streams.
+func TestTaskwaitTreeAllModes(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSingle, core.ModeDouble, core.ModeSlipstream} {
+		rt := treeSum(t, taskCfg(mode))
+		if got := rt.TasksExecuted(); got != 127 {
+			t.Errorf("mode %v: executed %d tasks, want 127", mode, got)
+		}
+	}
+}
+
+// Tiny deque and ID budgets force both overflow paths — deque-full
+// (registered, undeferred) and budget-exhausted (unregistered, inlined) —
+// and the results must still be complete and correct.
+func TestTaskOverflowPaths(t *testing.T) {
+	cfg := taskCfg(core.ModeSlipstream)
+	cfg.TaskDequeCap = 2
+	cfg.TaskIDBudget = 8
+	rt := fanOut(t, cfg, 64)
+	if got := rt.TasksExecuted(); got != 64 {
+		t.Fatalf("executed %d tasks, want 64", got)
+	}
+	if rt.TasksInlined() == 0 {
+		t.Fatal("ID budget 8 with 64 spawns never exhausted — inline path untested")
+	}
+}
+
+// Taskloop distributes iterations over chunk tasks and waits; the serial
+// (outside-region) path degrades to a direct call.
+func TestTaskloop(t *testing.T) {
+	cfg := taskCfg(core.ModeSlipstream)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	out := rt.NewF64(n)
+	serial := rt.NewF64(1)
+	err = rt.Run(func(m *Thread) {
+		m.Taskloop(0, 0, 1, func(c *Thread, i int) { serial.Set(0, 7) })
+		m.Parallel(func(th *Thread) {
+			th.Master(func() {
+				th.Taskloop(8, 0, n, func(c *Thread, i int) {
+					c.Compute(30)
+					c.StF(out, i, 2*float64(i))
+				})
+			})
+			th.TaskBarrier()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Get(0) != 7 {
+		t.Fatal("serial taskloop body never ran")
+	}
+	for i := 0; i < n; i++ {
+		if out.Get(i) != 2*float64(i) {
+			t.Fatalf("iteration %d: got %g, want %g", i, out.Get(i), 2*float64(i))
+		}
+	}
+	if got, want := rt.TasksExecuted(), uint64(n/8); got != want {
+		t.Fatalf("executed %d chunk tasks, want %d", got, want)
+	}
+}
+
+// A straggler thread (fault class "thread") pays a stall per task it
+// executes, so its deque backs up and the rest of the team steals the
+// work away mid-drain; correctness must be untouched.
+func TestTaskStragglerStolenFrom(t *testing.T) {
+	cfg := taskCfg(core.ModeSlipstream)
+	cfg.Faults = &faults.Config{Seed: 7, Rate: 1, Classes: []faults.Class{faults.ThreadStraggler}}
+	rt := fanOut(t, cfg, 64)
+	if rt.FaultsInjected() == 0 {
+		t.Fatal("rate-1 thread plan injected nothing")
+	}
+	if rt.TaskSteals() == 0 {
+		t.Fatal("stragglers held work but nothing was stolen")
+	}
+}

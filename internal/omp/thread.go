@@ -28,6 +28,8 @@ type Thread struct {
 	reduceIdx  int
 	loopIdx    int
 	orderedIdx int
+	taskBarIdx int
+	curTask    int32 // currently executing task ID (implicit = id+1)
 	barSense   int64
 	lastSeq    int64
 }

@@ -84,6 +84,16 @@ func (s *Server) execute(ctx context.Context, c *compiledSpec, progress io.Write
 		s.metrics.addFaults(suite.TotalFaults(), suite.TotalRecoveries())
 		suite.Curves(&buf)
 
+	case KindTasks:
+		suite, err := experiments.RunTasksCtx(ctx, opts, c.spec.NodeCounts, c.spec.Cutoffs, progress)
+		if err != nil {
+			return nil, err
+		}
+		if err := suite.Err(); err != nil {
+			return nil, err
+		}
+		suite.Table(&buf)
+
 	case KindCharacterize:
 		rows, err := experiments.CharacterizeCtx(ctx, c.spec.Nodes, synth.DefaultParams(),
 			s.cfg.SuiteJobs, progress)

@@ -19,6 +19,12 @@ func FuzzParseSpec(f *testing.F) {
 		`{"kind":"tokens","kernel":"CG","token_counts":[0,1,2]}`,
 		`{"kind":"tokens","kernel":"CG","token_counts":[9999999]}`,
 		`{"kind":"chaos","kernels":["CG"],"faults":{"seed":7,"rates":[0.5]}}`,
+		`{"kind":"tasks"}`,
+		`{"kind":"tasks","node_counts":[2,4],"cutoffs":[2,4]}`,
+		`{"kind":"tasks","cutoffs":[99]}`,
+		`{"kind":"tasks","node_counts":[0]}`,
+		`{"kind":"tasks","kernel":"CG"}`,
+		`{"kind":"tasks","faults":{"seed":1,"rate":0.5}}`,
 		`{"kind":"run","kernel":"CG","faults":{"seed":1,"rate":0.3,"classes":["token"]}}`,
 		`{"kind":"run","kernel":"CG","tokens":-5}`,
 		`{"kind":"run","kernel":"CG","nodes":1000000000}`,

@@ -159,6 +159,51 @@ func TestChaosJobEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTasksJobEndToEnd: the tasks kind renders the team × cut-off grid
+// with steal counts and every cell verified.
+func TestTasksJobEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, SuiteJobs: 4})
+	sr, code := submit(t, ts, `{"kind":"tasks","node_counts":[2],"cutoffs":[3]}`)
+	if code != http.StatusCreated {
+		t.Fatalf("POST = %d", code)
+	}
+	j := await(t, s, sr.Job.ID)
+	if st := j.stateNow(); st != StateDone {
+		t.Fatalf("tasks job = %s (err %q)", st, j.snapshot().Error)
+	}
+	body, _ := getBody(t, ts.URL+"/jobs/"+sr.Job.ID+"/result")
+	for _, want := range []string{
+		"Tasking study (scale test)",
+		"steals",
+		"cut=3",
+		"verification: PASSED",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("tasks result missing %q:\n%s", want, body)
+		}
+	}
+
+	// An omitted grid takes the documented defaults in the normalized spec.
+	c, err := compile(JobSpec{Kind: KindTasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.spec.NodeCounts) != 3 || len(c.spec.Cutoffs) != 4 {
+		t.Fatalf("defaults not applied: teams %v cutoffs %v", c.spec.NodeCounts, c.spec.Cutoffs)
+	}
+	if _, err := c.cacheKey("t"); err != nil {
+		t.Fatal(err)
+	}
+	// The cut-off grid is part of the identity: different grids, different keys.
+	a, _ := compile(JobSpec{Kind: KindTasks, NodeCounts: []int{2}, Cutoffs: []int{2}})
+	b, _ := compile(JobSpec{Kind: KindTasks, NodeCounts: []int{2}, Cutoffs: []int{3}})
+	ka, _ := a.cacheKey("t")
+	kb, _ := b.cacheKey("t")
+	if ka == kb {
+		t.Fatal("cutoff grids share a cache key")
+	}
+}
+
 // TestFaultSpecValidation covers the new 400 paths, including the
 // formerly-panicking oversized node_counts.
 func TestFaultSpecValidation(t *testing.T) {
@@ -174,6 +219,10 @@ func TestFaultSpecValidation(t *testing.T) {
 		`{"kind":"static","faults":{"rate":0.5}}`,
 		`{"kind":"scaling","kernel":"CG","node_counts":[100]}`,
 		`{"kind":"tokens","kernel":"CG","token_counts":[2000]}`,
+		`{"kind":"tasks","kernel":"CG"}`,
+		`{"kind":"tasks","cutoffs":[99]}`,
+		`{"kind":"tasks","node_counts":[0]}`,
+		`{"kind":"tasks","faults":{"seed":1,"rate":0.5}}`,
 	}
 	for _, body := range bad {
 		if _, code := submit(t, ts, body); code != http.StatusBadRequest {

@@ -22,12 +22,14 @@ import (
 // an unchanged spec (new machine parameter, timing-model fix, table
 // format change) — stale cached bytes must stop matching.
 // slipd-2: fault injection hooks in the machine/core/omp layers.
-const CacheKeyVersion = "slipd-2"
+// slipd-3: task-based scheduling study (kind "tasks", work-stealing deques).
+const CacheKeyVersion = "slipd-3"
 
 // Job kinds, mirroring the CLI surface: a single kernel run, the paper's
 // static/dynamic suites, the fixed-size scaling study, the A–R token
-// sweep, the synthetic-workload characterization, and the chaos suite
-// (fault-rate sweep with verification forced on).
+// sweep, the synthetic-workload characterization, the chaos suite
+// (fault-rate sweep with verification forced on), and the tasking study
+// (task tree vs loop baseline over a team × cut-off grid).
 const (
 	KindRun          = "run"
 	KindStatic       = "static"
@@ -36,6 +38,7 @@ const (
 	KindTokens       = "tokens"
 	KindCharacterize = "characterize"
 	KindChaos        = "chaos"
+	KindTasks        = "tasks"
 )
 
 // Validation bounds that keep absurd specs from reaching the simulator:
@@ -50,6 +53,11 @@ const (
 
 // defaultChaosRates is the sweep used when a chaos spec omits rates.
 var defaultChaosRates = []float64{0, 0.01, 0.05, 0.2}
+
+// Default grid for the tasking study when the spec omits the axes (fresh
+// slices per call: compile mutates the spec's copies).
+func defaultTaskTeams() []int   { return []int{2, 4, 8} }
+func defaultTaskCutoffs() []int { return []int{2, 4, 6, 8} }
 
 // JobSpec is the POST /jobs request body. String fields use the same
 // vocabulary as the slipsim/sweep CLI flags, parsed by the same shared
@@ -76,8 +84,9 @@ type JobSpec struct {
 	Verify         *bool    `json:"verify,omitempty"` // default true
 
 	// Study fields.
-	NodeCounts  []int `json:"node_counts,omitempty"`  // kind "scaling"
+	NodeCounts  []int `json:"node_counts,omitempty"`  // kinds "scaling", "tasks" (team sizes)
 	TokenCounts []int `json:"token_counts,omitempty"` // kind "tokens"
+	Cutoffs     []int `json:"cutoffs,omitempty"`      // kind "tasks" (tree cut-off depths)
 
 	// Faults arms a deterministic fault plan. Kind "run" takes seed, rate,
 	// and classes; kind "chaos" takes seed, rates (the sweep), and classes.
@@ -254,10 +263,26 @@ func compile(s JobSpec) (*compiledSpec, error) {
 		if err := c.compileChaosFaults(s.Faults); err != nil {
 			return nil, err
 		}
+	case KindTasks:
+		if c.spec.Kernel != "" || len(c.spec.Kernels) > 0 {
+			return nil, fmt.Errorf("kind %q runs the fixed TREE/TREEL pair; it takes no kernel", s.Kind)
+		}
+		if len(c.spec.NodeCounts) == 0 {
+			c.spec.NodeCounts = defaultTaskTeams()
+		}
+		if err := validateCounts(c.spec.NodeCounts, 1, maxNodeCount, "node_counts"); err != nil {
+			return nil, err
+		}
+		if len(c.spec.Cutoffs) == 0 {
+			c.spec.Cutoffs = defaultTaskCutoffs()
+		}
+		if err := validateCounts(c.spec.Cutoffs, 0, npb.MaxTreeCutoff, "cutoffs"); err != nil {
+			return nil, err
+		}
 	case "":
-		return nil, fmt.Errorf("missing kind (valid: run, static, dynamic, scaling, tokens, characterize, chaos)")
+		return nil, fmt.Errorf("missing kind (valid: run, static, dynamic, scaling, tokens, characterize, chaos, tasks)")
 	default:
-		return nil, fmt.Errorf("unknown kind %q (valid: run, static, dynamic, scaling, tokens, characterize, chaos)", s.Kind)
+		return nil, fmt.Errorf("unknown kind %q (valid: run, static, dynamic, scaling, tokens, characterize, chaos, tasks)", s.Kind)
 	}
 	if s.Faults != nil && s.Kind != KindRun && s.Kind != KindChaos {
 		return nil, fmt.Errorf("kind %q does not take a faults block", s.Kind)
@@ -405,6 +430,7 @@ func (c *compiledSpec) compileChaosFaults(fs *FaultSpec) error {
 // omitempty: absent and zero must hash identically forever).
 type canonKey struct {
 	Chunk       int             `json:"chunk"`
+	Cutoffs     []int           `json:"cutoffs"`
 	Faults      faultsKey       `json:"faults"`
 	Kernel      string          `json:"kernel"`
 	Kind        string          `json:"kind"`
@@ -455,8 +481,11 @@ func (c *compiledSpec) cacheKey(version string) (string, error) {
 	sort.Ints(nodeCounts)
 	tokenCounts := append([]int(nil), c.spec.TokenCounts...)
 	sort.Ints(tokenCounts)
+	cutoffs := append([]int(nil), c.spec.Cutoffs...)
+	sort.Ints(cutoffs)
 	data, err := json.Marshal(canonKey{
 		Chunk:       c.spec.Chunk,
+		Cutoffs:     emptyNotNil(cutoffs),
 		Faults:      c.faultsKeyOf(),
 		Kernel:      c.spec.Kernel,
 		Kind:        c.spec.Kind,
