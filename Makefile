@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race verify bench bench-check smoke smoke-fleet fuzz
+.PHONY: build test test-short vet race verify bench bench-check smoke smoke-fleet smoke-ha fuzz
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPentaSolve -fuzztime 10s ./internal/npb
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzClusterWire -fuzztime 10s ./internal/cluster
+	$(GO) test -run '^$$' -fuzz FuzzClaimWire -fuzztime 10s ./internal/cluster
 
 # End-to-end: boot a real slipd, drive one job over HTTP, cancel one,
 # then SIGKILL it mid-job and assert the restart recovers the journal.
@@ -76,10 +77,20 @@ smoke:
 	$(GO) build -o bin/slipd ./cmd/slipd
 	$(GO) run ./tools/smoke bin/slipd
 
-# Fleet drill: coordinator + 2 workers, SIGKILL the worker mid-job and
-# require the survivor to finish it byte-identically; then a zero-worker
-# coordinator must execute locally in degraded mode.
+# Fleet drill: coordinator + 2 workers on the pull path, SIGKILL the
+# worker holding a claim and require the survivor to finish the job
+# byte-identically via lease expiry; then a zero-worker coordinator must
+# execute locally in degraded mode.
 smoke-fleet:
 	mkdir -p bin
 	$(GO) build -o bin/slipd ./cmd/slipd
-	$(GO) run ./tools/smokefleet bin/slipd
+	$(GO) run ./tools/smokefleet bin/slipd fleet
+
+# HA drill: two peered coordinators, SIGKILL the one that granted the
+# in-flight lease; the survivor's replicated lease must expire, be
+# reclaimed by a worker, and settle with byte-identical result bytes and
+# zero stranded claims.
+smoke-ha:
+	mkdir -p bin
+	$(GO) build -o bin/slipd ./cmd/slipd
+	$(GO) run ./tools/smokefleet bin/slipd ha

@@ -11,41 +11,49 @@
 // completed results and requeues whatever was in flight on the next
 // start. Pass -no-persist for the old memory-only behaviour.
 //
-// Fleet mode: -coordinator turns a slipd into the fleet front door — it
-// keeps the client-facing API and dispatches execution to workers that
-// joined with -worker -join <coordinator-url>. Workers heartbeat their
-// load; a worker that goes silent is marked suspect, then dead, and its
-// in-flight jobs fail over to survivors. Stragglers are hedged with a
-// second copy on another worker, first result wins — determinism and
-// content addressing make every duplicate execution byte-identical.
-// With zero live workers the coordinator executes jobs locally and sets
-// "degraded":true on /readyz.
+// Fleet mode: -coordinator turns a slipd into a fleet front door — it
+// keeps the client-facing API and enqueues each job in a claim table
+// that workers (-worker -join <coordinator-urls>) pull from under
+// leases: a worker long-polls POST /cluster/claims, renews its lease
+// while running, and reports the terminal result; if the worker dies
+// the lease expires and any other worker reclaims the job. Coordinators
+// peered with -join-coordinator replicate the claim table to each other
+// leader-lessly, so any one of them can be SIGKILLed without stranding
+// work — a survivor's lease sweep reclaims in-flight jobs and serves
+// the byte-identical result. Stragglers are hedged: a claim running
+// past the per-label latency threshold opens to a second worker, first
+// result wins. With zero live workers a coordinator executes jobs
+// locally and sets "degraded":true on /readyz.
 //
 // SIGINT/SIGTERM drains gracefully: in-flight and queued jobs finish
-// (up to -drain), the journal is flushed and compacted, then the
-// process exits 0. See docs/api.md.
+// (up to -drain), held claims report before the claim loop stops, the
+// journal is flushed and compacted, then the process exits 0. See
+// docs/api.md.
 //
 // Examples:
 //
 //	slipd -addr :8080 -workers 2 -data-dir /var/lib/slipd
-//	slipd -addr :8080 -coordinator
-//	slipd -addr :8081 -worker -join http://localhost:8080 -data-dir w1
+//	slipd -addr :8080 -coordinator -join-coordinator http://host2:8080
+//	slipd -addr :8081 -worker -join http://host1:8080,http://host2:8080 -data-dir w1
 //	curl -s localhost:8080/jobs -d '{"kind":"run","kernel":"CG"}'
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -58,18 +66,21 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution wall-clock limit (0 = none)")
 		drain       = flag.Duration("drain", 5*time.Minute, "graceful-shutdown deadline for in-flight jobs")
 		dataDir     = flag.String("data-dir", "slipd-data", "directory for the job journal and result store")
-		maxAttempts = flag.Int("max-attempts", 3, "crash-recovery retry budget per job (also bounds fleet failovers per job)")
+		maxAttempts = flag.Int("max-attempts", 3, "crash-recovery retry budget per job (also bounds claim leases per job)")
 		noPersist   = flag.Bool("no-persist", false, "disable the journal and disk result store (memory only)")
 
-		coordinator = flag.Bool("coordinator", false, "run as fleet coordinator: dispatch jobs to joined workers")
-		workerMode  = flag.Bool("worker", false, "run as fleet worker: execute jobs dispatched by a coordinator")
-		join        = flag.String("join", "", "coordinator base URL a -worker registers with")
-		advertise   = flag.String("advertise", "", "base URL the coordinator should dispatch to (default: derived from -addr)")
+		coordinator = flag.Bool("coordinator", false, "run as fleet coordinator: serve the claim table workers pull from")
+		workerMode  = flag.Bool("worker", false, "run as fleet worker: claim and execute jobs from coordinators")
+		join        = flag.String("join", "", "comma-separated coordinator base URLs a -worker claims from")
+		joinCoord   = flag.String("join-coordinator", "", "comma-separated peer coordinator base URLs to replicate the claim table with")
+		advertise   = flag.String("advertise", "", "base URL this node is reachable at (default: derived from -addr)")
 		workerID    = flag.String("worker-id", "", "stable worker identity (default: host:port of -advertise)")
-		hbInterval  = flag.Duration("heartbeat-interval", time.Second, "coordinator: heartbeat cadence told to workers")
+		hbInterval  = flag.Duration("heartbeat-interval", time.Second, "coordinator: heartbeat cadence told to workers (also the sweep and replication cadence)")
 		suspectAft  = flag.Duration("suspect-after", 0, "coordinator: silence before a worker turns suspect (default 3× heartbeat)")
-		deadAfter   = flag.Duration("dead-after", 0, "coordinator: silence before a worker is dead and its jobs fail over (default 10× heartbeat)")
-		hedgeAfter  = flag.Duration("hedge-after", 0, "coordinator: fixed straggler threshold for hedged dispatch (0 = p95-driven)")
+		deadAfter   = flag.Duration("dead-after", 0, "coordinator: silence before a worker is reported dead (default 10× heartbeat)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "coordinator: fixed straggler threshold for hedged claims (0 = p95-driven)")
+		claimLease  = flag.Duration("claim-lease", 10*time.Second, "coordinator: claim lease duration; an unrenewed lease this old is reclaimed")
+		claimPoll   = flag.Duration("claim-poll", 2*time.Second, "long-poll hold for POST /cluster/claims (coordinator cap and worker request)")
 	)
 	flag.Parse()
 	if *noPersist {
@@ -80,7 +91,11 @@ func main() {
 		os.Exit(2)
 	}
 	if *workerMode && *join == "" {
-		fmt.Fprintln(os.Stderr, "slipd: -worker requires -join <coordinator-url>")
+		fmt.Fprintln(os.Stderr, "slipd: -worker requires -join <coordinator-urls>")
+		os.Exit(2)
+	}
+	if *joinCoord != "" && !*coordinator {
+		fmt.Fprintln(os.Stderr, "slipd: -join-coordinator requires -coordinator")
 		os.Exit(2)
 	}
 	cfg := server.Config{
@@ -95,13 +110,16 @@ func main() {
 	fleet := fleetConfig{
 		coordinator: *coordinator,
 		worker:      *workerMode,
-		join:        *join,
+		join:        splitURLs(*join),
+		peers:       splitURLs(*joinCoord),
 		advertise:   *advertise,
 		workerID:    *workerID,
 		heartbeat:   *hbInterval,
 		suspect:     *suspectAft,
 		dead:        *deadAfter,
 		hedge:       *hedgeAfter,
+		lease:       *claimLease,
+		poll:        *claimPoll,
 	}
 	if err := run(*addr, cfg, fleet, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "slipd:", err)
@@ -113,17 +131,33 @@ func main() {
 type fleetConfig struct {
 	coordinator bool
 	worker      bool
-	join        string
+	join        []string
+	peers       []string
 	advertise   string
 	workerID    string
 	heartbeat   time.Duration
 	suspect     time.Duration
 	dead        time.Duration
 	hedge       time.Duration
+	lease       time.Duration
+	poll        time.Duration
 }
 
-// deriveAdvertise turns a listen address like ":8081" into a URL a
-// coordinator on the same host can dispatch to.
+// splitURLs parses a comma-separated URL list, trimming blanks and
+// trailing slashes.
+func splitURLs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// deriveAdvertise turns a listen address like ":8081" into a URL other
+// fleet members on the same host can reach.
 func deriveAdvertise(addr string) string {
 	if strings.HasPrefix(addr, ":") {
 		return "http://127.0.0.1" + addr
@@ -132,18 +166,37 @@ func deriveAdvertise(addr string) string {
 }
 
 func run(addr string, cfg server.Config, fleet fleetConfig, drain time.Duration) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "slipd: "+format+"\n", args...)
+	}
+
 	var co *cluster.Coordinator
 	if fleet.coordinator {
-		co = cluster.NewCoordinator(cluster.Config{
+		ccfg := cluster.Config{
 			HeartbeatInterval: fleet.heartbeat,
 			SuspectAfter:      fleet.suspect,
 			DeadAfter:         fleet.dead,
 			HedgeAfter:        fleet.hedge,
+			LeaseDuration:     fleet.lease,
+			ClaimWait:         fleet.poll,
 			MaxAttempts:       cfg.MaxAttempts,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "slipd: "+format+"\n", args...)
-			},
-		})
+			Peers:             fleet.peers,
+			SelfID:            deriveAdvertise(addr),
+			Logf:              logf,
+		}
+		if cfg.DataDir != "" {
+			// The claim table gets its own journal beside the server's: a
+			// restarted coordinator resumes its leases instead of stranding
+			// in-flight claims until peers notice.
+			jn, recs, err := store.Open(filepath.Join(cfg.DataDir, "claims"), 0)
+			if err != nil {
+				return fmt.Errorf("open claims journal: %w", err)
+			}
+			jn.SetLogf(logf)
+			ccfg.Journal = jn
+			ccfg.Replay = recs
+		}
+		co = cluster.NewCoordinator(ccfg)
 		defer co.Close()
 		cfg.Cluster = co
 	}
@@ -152,13 +205,17 @@ func run(addr string, cfg server.Config, fleet fleetConfig, drain time.Duration)
 	if err != nil {
 		return err
 	}
+	if co != nil {
+		// Settled claims land in the server's content-addressed cache, so
+		// this coordinator serves GET /results/{key} for results produced
+		// anywhere in the fleet — including claims it only learned about
+		// through peer replication.
+		co.AttachResults(srv)
+	}
 
 	mux := http.NewServeMux()
 	if co != nil {
 		mux.Handle("/cluster/", co.Handler())
-	}
-	if fleet.worker {
-		mux.Handle("/cluster/dispatch", cluster.WorkerHandler(srv))
 	}
 	mux.Handle("/", srv.Handler())
 	httpSrv := &http.Server{Addr: addr, Handler: mux}
@@ -184,10 +241,15 @@ func run(addr string, cfg server.Config, fleet fleetConfig, drain time.Duration)
 			cfg.DataDir, recovered, requeued)
 	}
 	if co != nil {
-		fmt.Fprintln(os.Stderr, "slipd: coordinator mode — waiting for workers to join at /cluster/register")
+		if len(fleet.peers) > 0 {
+			fmt.Fprintf(os.Stderr, "slipd: coordinator mode — replicating claims with %s\n", strings.Join(fleet.peers, ", "))
+		} else {
+			fmt.Fprintln(os.Stderr, "slipd: coordinator mode — waiting for workers to claim at /cluster/claims")
+		}
 	}
 
-	var agent *cluster.Agent
+	var agents []*cluster.Agent
+	var claimer *cluster.Claimer
 	if fleet.worker {
 		adv := fleet.advertise
 		if adv == "" {
@@ -197,38 +259,72 @@ func run(addr string, cfg server.Config, fleet fleetConfig, drain time.Duration)
 		if id == "" {
 			id = strings.TrimPrefix(strings.TrimPrefix(adv, "http://"), "https://")
 		}
-		agent, err = cluster.StartAgent(cluster.AgentConfig{
-			Coordinator: strings.TrimRight(fleet.join, "/"),
-			ID:          id,
-			Advertise:   adv,
-			Capacity:    cfg.Workers,
-			Load:        srv.Load,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "slipd: "+format+"\n", args...)
-			},
-		})
-		if err != nil {
-			httpSrv.Close()
-			return fmt.Errorf("join fleet: %w", err)
+		// One membership agent per coordinator: every coordinator's
+		// registry (and hedging input) sees this worker, so the fleet view
+		// survives any single coordinator.
+		for _, coURL := range fleet.join {
+			agent, err := cluster.StartAgent(cluster.AgentConfig{
+				Coordinator: coURL,
+				ID:          id,
+				Advertise:   adv,
+				Capacity:    cfg.Workers,
+				Load:        srv.Load,
+				Logf:        logf,
+			})
+			if err != nil {
+				for _, a := range agents {
+					a.Stop()
+				}
+				httpSrv.Close()
+				return fmt.Errorf("join fleet: %w", err)
+			}
+			agents = append(agents, agent)
 		}
-		fmt.Fprintf(os.Stderr, "slipd: worker mode — joining %s as %s (advertising %s)\n", fleet.join, id, adv)
+		claimer = cluster.StartClaimer(cluster.ClaimerConfig{
+			Coordinators: fleet.join,
+			ID:           id,
+			Slots:        cfg.Workers,
+			PollWait:     fleet.poll,
+			KeyFor:       srv.CacheKeyFor,
+			Run: func(ctx context.Context, spec []byte) ([]byte, error) {
+				view, _, err := srv.SubmitJSON(spec)
+				if err != nil {
+					if errors.Is(err, server.ErrQueueFull) || errors.Is(err, server.ErrDraining) {
+						// Transient local refusal: abandon without a report so
+						// the lease expires instead of burning an attempt.
+						return nil, fmt.Errorf("%w: %v", cluster.ErrClaimAbandoned, err)
+					}
+					return nil, err
+				}
+				return srv.Await(ctx, view.ID)
+			},
+			Logf: logf,
+		})
+		fmt.Fprintf(os.Stderr, "slipd: worker mode — claiming from %s as %s\n", strings.Join(fleet.join, ", "), id)
+	}
+
+	stopFleet := func() {
+		// Claims first: Stop lets held claims finish and report, so a clean
+		// shutdown leaves no lease behind to expire. Then membership.
+		if claimer != nil {
+			claimer.Stop()
+		}
+		for _, a := range agents {
+			a.Stop()
+		}
 	}
 
 	select {
 	case err := <-errCh:
-		if agent != nil {
-			agent.Stop()
-		}
+		stopFleet()
 		return err
 	case <-ctx.Done():
 	}
 	stop() // a second signal now kills the process the default way
 
-	// Leave the fleet first so the coordinator stops dispatching here
-	// while we drain.
-	if agent != nil {
-		agent.Stop()
-	}
+	// Leave the fleet first so no new claims are granted to this worker
+	// while it drains.
+	stopFleet()
 
 	fmt.Fprintf(os.Stderr, "slipd: draining (deadline %s)\n", drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)

@@ -234,20 +234,27 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 
 // ResultByKey fetches a result straight from the server's
 // content-addressed store. The bool reports presence (404 is not an
-// error — the key simply has no bytes yet).
+// error — the key simply has no bytes yet). With multiple endpoints a
+// 404 fans out across the rest of the list before giving up: after a
+// coordinator failover the bytes may live only on the replica that
+// observed the claim settle, and content addressing makes any replica's
+// copy equally authoritative.
 func (c *Client) ResultByKey(ctx context.Context, key string) ([]byte, bool, error) {
-	data, status, err := c.doRetry(ctx, http.MethodGet, "/results/"+key, nil)
-	if err != nil {
-		return nil, false, err
+	for i := 0; i < len(c.cfg.Endpoints); i++ {
+		data, status, err := c.doRetry(ctx, http.MethodGet, "/results/"+key, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		switch status {
+		case http.StatusOK:
+			return data, true, nil
+		case http.StatusNotFound:
+			c.rotate() // try the next replica; no-op with one endpoint
+		default:
+			return nil, false, apiError("get result by key", status, data)
+		}
 	}
-	switch status {
-	case http.StatusOK:
-		return data, true, nil
-	case http.StatusNotFound:
-		return nil, false, nil
-	default:
-		return nil, false, apiError("get result by key", status, data)
-	}
+	return nil, false, nil
 }
 
 // Cancel DELETEs a job.

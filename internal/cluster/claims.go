@@ -1,0 +1,575 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// terminalRetain is how long a settled claim stays in the table before
+// the sweep prunes it. Long enough for late duplicate reports and peer
+// reconciliation to find the entry; short enough that the table doesn't
+// grow without bound.
+const terminalRetain = 10 * time.Minute
+
+// ResultSink receives the bytes of a settled claim so they land in the
+// coordinator's content-addressed cache. The server implements it.
+type ResultSink interface {
+	StoreResult(key string, result []byte) error
+}
+
+// claimEntry is one job's lease state. All fields are guarded by the
+// table mutex; done is closed exactly once, when the entry settles.
+type claimEntry struct {
+	key          string
+	label        string
+	spec         json.RawMessage
+	state        string // pending | claimed | done | failed
+	claimedBy    string
+	expires      time.Time
+	attempt      int
+	hedged       bool // MarkHedgeable called; a second worker may claim
+	hedgeAttempt int  // attempt number handed to the hedge, for HedgesWon
+	errMsg       string
+	result       []byte
+	settledAt    time.Time
+	done         chan struct{}
+}
+
+func (e *claimEntry) terminal() bool {
+	return e.state == ClaimDone || e.state == ClaimFailed
+}
+
+// ClaimCounters are the table's lifetime counters, exported as the
+// slipd_claims_total{outcome} family plus contention and expirations.
+type ClaimCounters struct {
+	Granted     uint64 // leases handed out (first claims, reclaims, hedges)
+	Done        uint64 // claims settled with result bytes
+	Failed      uint64 // claims settled with an error
+	Duplicate   uint64 // terminal reports discarded because the claim had settled
+	Contention  uint64 // hedge grants: a second worker claimed a live lease
+	Expirations uint64 // leases that expired and went back to pending
+	HedgesWon   uint64 // settles where the hedge's attempt reported first
+}
+
+// ClaimView is one entry of GET /cluster/claims.
+type ClaimView struct {
+	Key       string `json:"key"`
+	Label     string `json:"label"`
+	State     string `json:"state"`
+	ClaimedBy string `json:"claimed_by,omitempty"`
+	Attempt   int    `json:"claim_attempt"`
+	ExpiresMs int64  `json:"claim_expires_at,omitempty"`
+}
+
+// ClaimTable is the shared dispatch state: jobs enter pending, workers
+// claim them under a lease, and terminal reports settle them. It is the
+// only coordination primitive on the dispatch path — liveness is
+// enforced purely by lease expiry, never by the failure detector.
+type ClaimTable struct {
+	mu      sync.Mutex
+	entries map[string]*claimEntry
+	order   []string // FIFO claim order; prune keeps it in step with entries
+
+	now         func() time.Time
+	lease       time.Duration
+	maxAttempts int
+
+	notify chan struct{} // closed+replaced to wake long-polling claimers
+
+	// journal persists every state change (nil in tests that don't care);
+	// sink stores settled bytes; onChange kicks replication. All three
+	// are called outside the mutex.
+	journal  func(rec store.Record, sync bool)
+	sink     ResultSink
+	onChange func()
+
+	ctr ClaimCounters
+}
+
+func newClaimTable(now func() time.Time, lease time.Duration, maxAttempts int) *ClaimTable {
+	return &ClaimTable{
+		entries:     make(map[string]*claimEntry),
+		now:         now,
+		lease:       lease,
+		maxAttempts: maxAttempts,
+		notify:      make(chan struct{}),
+	}
+}
+
+// wait returns a channel that is closed the next time the table gains
+// claimable work. Callers select on it alongside their own deadline.
+func (t *ClaimTable) wait() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.notify
+}
+
+// wakeLocked wakes every parked claimer. Callers hold t.mu.
+func (t *ClaimTable) wakeLocked() {
+	close(t.notify)
+	t.notify = make(chan struct{})
+}
+
+// changed runs the post-mutation hooks outside the mutex.
+func (t *ClaimTable) changed(recs []store.Record, sync bool) {
+	if t.journal != nil {
+		for _, r := range recs {
+			t.journal(r, sync)
+		}
+	}
+	if t.onChange != nil {
+		t.onChange()
+	}
+}
+
+func (e *claimEntry) record() store.Record {
+	r := store.Record{
+		Job:          "claim-" + e.key[:16],
+		Key:          e.key,
+		Label:        e.label,
+		State:        e.state,
+		Error:        e.errMsg,
+		Spec:         e.spec,
+		ClaimedBy:    e.claimedBy,
+		ClaimAttempt: e.attempt,
+	}
+	if !e.expires.IsZero() && e.state == ClaimClaimed {
+		r.ClaimExpiresAt = e.expires.UnixMilli()
+	}
+	return r
+}
+
+// Enqueue adds a job to the table (or joins the existing entry) and
+// returns a channel closed when the claim settles. Terminal entries:
+// done-with-bytes returns an already-closed channel (the caller reads
+// the result immediately); done-without-bytes or failed entries are
+// resurrected to pending — the bytes are gone or the failure may have
+// been transient across a restart, and re-execution is free.
+func (t *ClaimTable) Enqueue(key, label string, spec json.RawMessage) <-chan struct{} {
+	t.mu.Lock()
+	e, ok := t.entries[key]
+	if ok {
+		if e.state == ClaimDone && len(e.result) > 0 {
+			ch := e.done
+			t.mu.Unlock()
+			return ch
+		}
+		if e.terminal() {
+			e.state = ClaimPending
+			e.claimedBy = ""
+			e.expires = time.Time{}
+			e.attempt = 0
+			e.hedged = false
+			e.hedgeAttempt = 0
+			e.errMsg = ""
+			e.result = nil
+			e.settledAt = time.Time{}
+			e.done = make(chan struct{})
+			ch := e.done
+			rec := e.record()
+			t.wakeLocked()
+			t.mu.Unlock()
+			t.changed([]store.Record{rec}, false)
+			return ch
+		}
+		// pending or claimed: join the in-flight entry.
+		ch := e.done
+		t.mu.Unlock()
+		return ch
+	}
+	e = &claimEntry{
+		key:   key,
+		label: label,
+		spec:  spec,
+		state: ClaimPending,
+		done:  make(chan struct{}),
+	}
+	t.entries[key] = e
+	t.order = append(t.order, key)
+	ch := e.done
+	rec := e.record()
+	t.wakeLocked()
+	t.mu.Unlock()
+	t.changed([]store.Record{rec}, false)
+	return ch
+}
+
+// Claim hands worker the oldest claimable job, if any: a pending entry,
+// a claimed entry whose lease expired, or a hedgeable entry held by a
+// different worker. The grant bumps the attempt; a lease that would
+// exceed the attempt budget settles the entry as failed instead (hedge
+// grants just skip — the primary lease is still live).
+func (t *ClaimTable) Claim(worker string) (ClaimGrant, bool) {
+	now := t.now()
+	t.mu.Lock()
+	var recs []store.Record
+	var failedAny bool
+	for _, key := range t.order {
+		e := t.entries[key]
+		if e == nil || e.terminal() {
+			continue
+		}
+		hedge := false
+		switch {
+		case e.state == ClaimPending:
+		case e.state == ClaimClaimed && now.After(e.expires):
+			t.ctr.Expirations++
+		case e.state == ClaimClaimed && e.hedged && e.claimedBy != worker:
+			hedge = true
+		default:
+			continue
+		}
+		if e.attempt+1 > t.maxAttempts {
+			if hedge {
+				continue // primary lease still live; just don't hedge
+			}
+			e.state = ClaimFailed
+			e.errMsg = fmt.Sprintf("claim attempts exhausted (%d)", e.attempt)
+			e.claimedBy = ""
+			e.expires = time.Time{}
+			e.settledAt = now
+			t.ctr.Failed++
+			close(e.done)
+			recs = append(recs, e.record())
+			failedAny = true
+			continue
+		}
+		e.attempt++
+		e.state = ClaimClaimed
+		e.claimedBy = worker
+		e.expires = now.Add(t.lease)
+		if hedge {
+			e.hedged = false
+			e.hedgeAttempt = e.attempt
+			t.ctr.Contention++
+		}
+		t.ctr.Granted++
+		grant := ClaimGrant{
+			Key:     e.key,
+			Label:   e.label,
+			Spec:    e.spec,
+			Attempt: e.attempt,
+			LeaseMs: t.lease.Milliseconds(),
+		}
+		recs = append(recs, e.record())
+		t.mu.Unlock()
+		t.changed(recs, failedAny)
+		return grant, true
+	}
+	t.mu.Unlock()
+	if len(recs) > 0 {
+		t.changed(recs, failedAny)
+	}
+	return ClaimGrant{}, false
+}
+
+// Renew extends worker's lease on key. It succeeds only while the lease
+// is still this worker's at this attempt — a superseded claimant learns
+// its lease is gone and stops renewing.
+func (t *ClaimTable) Renew(worker, key string, attempt int) bool {
+	now := t.now()
+	t.mu.Lock()
+	e := t.entries[key]
+	ok := e != nil && e.state == ClaimClaimed && e.claimedBy == worker && e.attempt == attempt
+	var rec store.Record
+	if ok {
+		e.expires = now.Add(t.lease)
+		rec = e.record()
+	}
+	t.mu.Unlock()
+	if ok {
+		t.changed([]store.Record{rec}, false)
+	}
+	return ok
+}
+
+// Report settles key with a terminal state. First terminal report wins
+// regardless of attempt — determinism makes every copy's bytes
+// identical, so a "late" report from a superseded lease is as good as
+// the current one. Returns false for duplicates (already settled).
+func (t *ClaimTable) Report(worker, key string, attempt int, state string, result []byte, errMsg string) bool {
+	t.mu.Lock()
+	e := t.entries[key]
+	if e == nil || e.terminal() {
+		t.ctr.Duplicate++
+		t.mu.Unlock()
+		return false
+	}
+	t.settleLocked(e, state, result, errMsg, true)
+	if e.hedgeAttempt != 0 && attempt == e.hedgeAttempt {
+		t.ctr.HedgesWon++
+	}
+	rec := e.record()
+	res := e.result
+	t.mu.Unlock()
+	if state == ClaimDone && t.sink != nil && len(res) > 0 {
+		_ = t.sink.StoreResult(key, res) // sink logs its own failures; bytes also live in the reporter's cache
+	}
+	t.changed([]store.Record{rec}, true)
+	return true
+}
+
+// settleLocked moves e to a terminal state and wakes waiters. countLocal
+// bumps the Done/Failed counters — true for reports settled here, false
+// for states adopted from a peer (the peer already counted them).
+// Callers hold t.mu and journal the entry afterwards.
+func (t *ClaimTable) settleLocked(e *claimEntry, state string, result []byte, errMsg string, countLocal bool) {
+	e.state = state
+	e.errMsg = errMsg
+	e.result = result
+	e.claimedBy = ""
+	e.expires = time.Time{}
+	e.settledAt = t.now()
+	if countLocal {
+		if state == ClaimDone {
+			t.ctr.Done++
+		} else {
+			t.ctr.Failed++
+		}
+	}
+	close(e.done)
+}
+
+// Result reads the terminal outcome of key. ok is false while the claim
+// is still in flight (or after the entry was pruned).
+func (t *ClaimTable) Result(key string) (result []byte, errMsg string, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil || !e.terminal() {
+		return nil, "", false
+	}
+	return e.result, e.errMsg, true
+}
+
+// MarkHedgeable flags key so a second worker may claim it concurrently.
+// The coordinator calls this when a claim is outstanding past the
+// per-label hedge threshold.
+func (t *ClaimTable) MarkHedgeable(key string) bool {
+	t.mu.Lock()
+	e := t.entries[key]
+	ok := e != nil && e.state == ClaimClaimed && !e.hedged
+	if ok {
+		e.hedged = true
+		t.wakeLocked()
+	}
+	t.mu.Unlock()
+	return ok
+}
+
+// SweepLeases re-pends every expired lease (so parked claimers wake and
+// reclaim it) and prunes terminal entries older than terminalRetain.
+// Returns how many leases expired this sweep.
+func (t *ClaimTable) SweepLeases() int {
+	now := t.now()
+	t.mu.Lock()
+	var recs []store.Record
+	expired := 0
+	kept := t.order[:0]
+	for _, key := range t.order {
+		e := t.entries[key]
+		if e == nil {
+			continue
+		}
+		if e.terminal() && now.Sub(e.settledAt) > terminalRetain {
+			delete(t.entries, key)
+			continue
+		}
+		kept = append(kept, key)
+		if e.state == ClaimClaimed && now.After(e.expires) {
+			e.state = ClaimPending
+			e.claimedBy = ""
+			e.expires = time.Time{}
+			e.hedged = false
+			t.ctr.Expirations++
+			expired++
+			recs = append(recs, e.record())
+		}
+	}
+	t.order = kept
+	if expired > 0 {
+		t.wakeLocked()
+	}
+	t.mu.Unlock()
+	if len(recs) > 0 {
+		t.changed(recs, false)
+	}
+	return expired
+}
+
+// Snapshot exports the full table for replication. Result bytes ride
+// along on done entries so a surviving peer can serve them.
+func (t *ClaimTable) Snapshot() []ClaimRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ClaimRecord, 0, len(t.order))
+	for _, key := range t.order {
+		e := t.entries[key]
+		if e == nil {
+			continue
+		}
+		r := ClaimRecord{
+			Key:       e.key,
+			Label:     e.label,
+			Spec:      e.spec,
+			State:     e.state,
+			ClaimedBy: e.claimedBy,
+			Attempt:   e.attempt,
+			Error:     e.errMsg,
+			Result:    e.result,
+		}
+		if e.state == ClaimClaimed {
+			r.ExpiresMs = e.expires.UnixMilli()
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Merge reconciles a peer's records into the table. Precedence, per
+// entry: a local terminal state wins (except that a local done entry
+// missing its bytes adopts the peer's bytes); an incoming terminal
+// state settles the local entry; among non-terminal states the higher
+// attempt wins, and at equal attempts claimed beats pending. The rules
+// commute, so two coordinators merging each other's snapshots converge
+// without a leader.
+func (t *ClaimTable) Merge(records []ClaimRecord) {
+	type sinkPut struct {
+		key string
+		val []byte
+	}
+	t.mu.Lock()
+	var recs []store.Record
+	var stores []sinkPut // applied outside mu
+	terminalAdopted := false
+	for _, in := range records {
+		e, ok := t.entries[in.Key]
+		if !ok {
+			e = &claimEntry{
+				key:   in.Key,
+				label: in.Label,
+				spec:  in.Spec,
+				state: ClaimPending,
+				done:  make(chan struct{}),
+			}
+			t.entries[in.Key] = e
+			t.order = append(t.order, in.Key)
+		}
+		if len(e.spec) == 0 && len(in.Spec) > 0 {
+			e.spec = in.Spec
+		}
+		inTerminal := in.State == ClaimDone || in.State == ClaimFailed
+		switch {
+		case e.terminal():
+			if e.state == ClaimDone && len(e.result) == 0 && in.State == ClaimDone && len(in.Result) > 0 {
+				e.result = in.Result
+				stores = append(stores, sinkPut{in.Key, in.Result})
+			}
+		case inTerminal:
+			t.settleLocked(e, in.State, in.Result, in.Error, false)
+			if in.Attempt > e.attempt {
+				e.attempt = in.Attempt
+			}
+			terminalAdopted = true
+			recs = append(recs, e.record())
+			if in.State == ClaimDone && len(in.Result) > 0 {
+				stores = append(stores, sinkPut{in.Key, in.Result})
+			}
+		case in.Attempt > e.attempt || (in.Attempt == e.attempt && in.State == ClaimClaimed && e.state == ClaimPending):
+			e.attempt = in.Attempt
+			e.state = in.State
+			e.claimedBy = in.ClaimedBy
+			e.hedged = false
+			if in.State == ClaimClaimed && in.ExpiresMs > 0 {
+				e.expires = time.UnixMilli(in.ExpiresMs)
+			} else {
+				e.expires = time.Time{}
+			}
+			recs = append(recs, e.record())
+		}
+	}
+	if terminalAdopted {
+		t.wakeLocked()
+	}
+	t.mu.Unlock()
+	for _, p := range stores {
+		if t.sink != nil {
+			_ = t.sink.StoreResult(p.key, p.val)
+		}
+	}
+	if len(recs) > 0 {
+		t.changed(recs, terminalAdopted)
+	}
+}
+
+// seed restores replayed journal records into the table at startup.
+// Claimed entries come back claimed with their persisted lease; if the
+// claimant died with the coordinator, the first sweep after the lease
+// deadline reclaims them.
+func (t *ClaimTable) seed(records []store.Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range records {
+		if r.Key == "" || !validClaimState(r.State) {
+			continue
+		}
+		if _, ok := t.entries[r.Key]; ok {
+			continue
+		}
+		e := &claimEntry{
+			key:       r.Key,
+			label:     r.Label,
+			spec:      r.Spec,
+			state:     r.State,
+			claimedBy: r.ClaimedBy,
+			attempt:   r.ClaimAttempt,
+			errMsg:    r.Error,
+			done:      make(chan struct{}),
+		}
+		if r.State == ClaimClaimed && r.ClaimExpiresAt > 0 {
+			e.expires = time.UnixMilli(r.ClaimExpiresAt)
+		}
+		if e.terminal() {
+			e.settledAt = t.now()
+			close(e.done)
+		}
+		t.entries[r.Key] = e
+		t.order = append(t.order, r.Key)
+	}
+}
+
+// Views lists the table for GET /cluster/claims, oldest first.
+func (t *ClaimTable) Views() []ClaimView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ClaimView, 0, len(t.order))
+	for _, key := range t.order {
+		e := t.entries[key]
+		if e == nil {
+			continue
+		}
+		v := ClaimView{
+			Key:       e.key,
+			Label:     e.label,
+			State:     e.state,
+			ClaimedBy: e.claimedBy,
+			Attempt:   e.attempt,
+		}
+		if e.state == ClaimClaimed {
+			v.ExpiresMs = e.expires.UnixMilli()
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Counters returns a copy of the lifetime counters.
+func (t *ClaimTable) Counters() ClaimCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ctr
+}

@@ -7,47 +7,62 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/client"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // Config tunes a Coordinator. Zero values take the documented defaults.
 type Config struct {
 	// HeartbeatInterval is the cadence workers are told to beat at
-	// (default 1s). The sweep loop runs at the same cadence.
+	// (default 1s). The sweep and replication loops run at the same
+	// cadence.
 	HeartbeatInterval time.Duration
 	// SuspectAfter marks a silent worker suspect (default 3×interval);
-	// DeadAfter declares it dead and fails over its in-flight jobs
-	// (default 10×interval).
+	// DeadAfter declares it dead (default 10×interval). The registry is
+	// visibility only — lease expiry, not the failure detector, is what
+	// recovers work from a dead worker.
 	SuspectAfter time.Duration
 	DeadAfter    time.Duration
-	// MaxAttempts bounds how many workers a single job may be launched on,
-	// counting the first dispatch, failover re-dispatches, and hedges
-	// (default 3). Determinism makes every extra copy safe; the budget
-	// just bounds the work.
+	// LeaseDuration is how long a claim grant lives without a renewal
+	// (default 10s). Workers renew at a third of this.
+	LeaseDuration time.Duration
+	// ClaimWait caps how long POST /cluster/claims holds a long-poll open
+	// (default 2s). Workers may ask for less, never more.
+	ClaimWait time.Duration
+	// MaxAttempts bounds how many leases a single job may be granted,
+	// counting the first claim, expiry reclaims, and hedges (default 3).
+	// Determinism makes every extra copy safe; the budget just bounds
+	// the work.
 	MaxAttempts int
 	// HedgeAfter, when positive, is a fixed straggler threshold: any
-	// dispatch running longer launches a second copy. When zero the
-	// threshold is data-driven — the HedgePercentile (default 0.95) of
-	// recent completion latencies for the same job label, times 1.5 — and
-	// no hedging happens until enough completions have been observed.
+	// claim outstanding longer becomes claimable by a second worker. When
+	// zero the threshold is data-driven — the HedgePercentile (default
+	// 0.95) of recent completion latencies for the same job label, times
+	// 1.5 — and no hedging happens until enough completions have been
+	// observed.
 	HedgeAfter      time.Duration
 	HedgePercentile float64
-	// PollInterval spaces job-state polls against a worker (default 200ms).
-	PollInterval time.Duration
-	// DispatchRetries bounds per-request transport retries against one
-	// worker before it is considered lost (default 2; failover is the
-	// real retry mechanism, so this stays small).
-	DispatchRetries int
+	// Peers are the other coordinators' base URLs. The claim table is
+	// replicated to each of them every heartbeat interval (and on every
+	// mutation), leader-lessly.
+	Peers []string
+	// SelfID labels this coordinator in replication batches and logs
+	// (default "coordinator").
+	SelfID string
+	// Journal, when set, persists every claim-table transition so a
+	// restarted coordinator resumes its leases; Replay seeds the table
+	// from a previous run's journal. The coordinator owns the journal
+	// once handed over and closes it in Close.
+	Journal *store.Journal
+	Replay  []store.Record
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
 	// Now is the clock (default time.Now); tests inject a fake to drive
-	// the failure detector without waiting.
+	// lease expiry and the failure detector without waiting.
 	Now func() time.Time
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
@@ -63,17 +78,20 @@ func (c Config) withDefaults() Config {
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 10 * c.HeartbeatInterval
 	}
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = 10 * time.Second
+	}
+	if c.ClaimWait <= 0 {
+		c.ClaimWait = 2 * time.Second
+	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
 	}
 	if c.HedgePercentile <= 0 || c.HedgePercentile >= 1 {
 		c.HedgePercentile = 0.95
 	}
-	if c.PollInterval <= 0 {
-		c.PollInterval = 200 * time.Millisecond
-	}
-	if c.DispatchRetries <= 0 {
-		c.DispatchRetries = 2
+	if c.SelfID == "" {
+		c.SelfID = "coordinator"
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = http.DefaultClient
@@ -87,43 +105,83 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Coordinator is the fleet brain: it keeps the worker registry, answers
-// the /cluster/* API, and implements server.Cluster so a slipd server
-// can plug it in as its dispatch backend.
+// Coordinator serves the claim table: it keeps the worker registry for
+// visibility, answers the /cluster/* API (including the claim
+// endpoints workers long-poll), replicates claim state to peer
+// coordinators, and implements server.Cluster so a slipd server can
+// plug it in as its dispatch backend.
 type Coordinator struct {
-	cfg Config
-	reg *Registry
-	lat *latencyTracker
+	cfg   Config
+	reg   *Registry
+	lat   *latencyTracker
+	table *ClaimTable
+	peers []*peerLink
 
-	failovers     uint64 // atomics
-	hedgesStarted uint64
-	hedgesWon     uint64
-
-	clients sync.Map // worker addr → *client.Client
+	hedgesStarted uint64 // atomic
 
 	quit chan struct{}
 	wg   sync.WaitGroup
 }
 
-// NewCoordinator builds a Coordinator and starts its failure-detection
-// sweep loop. Close it when done.
+// NewCoordinator builds a Coordinator, seeds the claim table from
+// cfg.Replay, and starts the sweep and replication loops. Close it when
+// done.
 func NewCoordinator(cfg Config) *Coordinator {
 	cfg = cfg.withDefaults()
 	co := &Coordinator{
-		cfg:  cfg,
-		reg:  newRegistry(cfg.SuspectAfter, cfg.DeadAfter, cfg.Now),
-		lat:  newLatencyTracker(cfg.HedgePercentile),
-		quit: make(chan struct{}),
+		cfg:   cfg,
+		reg:   newRegistry(cfg.SuspectAfter, cfg.DeadAfter, cfg.Now),
+		lat:   newLatencyTracker(cfg.HedgePercentile),
+		table: newClaimTable(cfg.Now, cfg.LeaseDuration, cfg.MaxAttempts),
+		quit:  make(chan struct{}),
+	}
+	if cfg.Journal != nil {
+		co.table.journal = func(rec store.Record, sync bool) {
+			if err := cfg.Journal.Append(rec, sync); err != nil {
+				cfg.Logf("cluster: claims journal append: %v", err)
+			}
+		}
+	}
+	if len(cfg.Replay) > 0 {
+		co.table.seed(cfg.Replay)
+		cfg.Logf("cluster: restored %d claims from journal", len(co.table.Views()))
+	}
+	for _, u := range cfg.Peers {
+		co.peers = append(co.peers, &peerLink{url: u})
+	}
+	if len(co.peers) > 0 {
+		kick := make(chan struct{}, 1)
+		co.table.onChange = func() {
+			select {
+			case kick <- struct{}{}:
+			default:
+			}
+		}
+		co.wg.Add(1)
+		go co.replicateLoop(kick)
 	}
 	co.wg.Add(1)
 	go co.sweepLoop()
 	return co
 }
 
-// Close stops the sweep loop.
+// AttachResults plugs the coordinator's settled claims into a result
+// sink (the server's content-addressed cache), so any coordinator that
+// observes a terminal claim — from a worker's report or from peer
+// replication — can serve the bytes itself.
+func (co *Coordinator) AttachResults(sink ResultSink) {
+	co.table.sink = sink
+}
+
+// Close stops the background loops and closes the claims journal.
 func (co *Coordinator) Close() {
 	close(co.quit)
 	co.wg.Wait()
+	if co.cfg.Journal != nil {
+		if err := co.cfg.Journal.Close(); err != nil {
+			co.cfg.Logf("cluster: claims journal close: %v", err)
+		}
+	}
 }
 
 func (co *Coordinator) sweepLoop() {
@@ -138,6 +196,9 @@ func (co *Coordinator) sweepLoop() {
 			for _, id := range co.reg.sweep() {
 				co.cfg.Logf("cluster: worker %s declared dead (no heartbeat for %s)", id, co.cfg.DeadAfter)
 			}
+			if n := co.table.SweepLeases(); n > 0 {
+				co.cfg.Logf("cluster: %d lease(s) expired, claims back to pending", n)
+			}
 		}
 	}
 }
@@ -145,22 +206,43 @@ func (co *Coordinator) sweepLoop() {
 // Stats implements server.Cluster.
 func (co *Coordinator) Stats() server.ClusterStats {
 	live, suspect, dead := co.reg.counts()
-	return server.ClusterStats{
-		Live:          live,
-		Suspect:       suspect,
-		Dead:          dead,
-		Failovers:     atomic.LoadUint64(&co.failovers),
-		HedgesStarted: atomic.LoadUint64(&co.hedgesStarted),
-		HedgesWon:     atomic.LoadUint64(&co.hedgesWon),
-		Degraded:      live+suspect == 0,
+	ctr := co.table.Counters()
+	s := server.ClusterStats{
+		Role:             "coordinator",
+		Live:             live,
+		Suspect:          suspect,
+		Dead:             dead,
+		ClaimsGranted:    ctr.Granted,
+		ClaimsCompleted:  ctr.Done,
+		ClaimsFailed:     ctr.Failed,
+		ClaimsDuplicate:  ctr.Duplicate,
+		ClaimContention:  ctr.Contention,
+		LeaseExpirations: ctr.Expirations,
+		HedgesStarted:    atomic.LoadUint64(&co.hedgesStarted),
+		HedgesWon:        ctr.HedgesWon,
+		Degraded:         live+suspect == 0,
 	}
+	now := co.cfg.Now()
+	for _, p := range co.peers {
+		ps := p.status(now)
+		if !ps.Reachable {
+			s.Degraded = true
+		}
+		s.Peers = append(s.Peers, ps)
+	}
+	return s
 }
 
 // Handler serves the worker-facing cluster API:
 //
-//	POST /cluster/register  — a worker announces itself
-//	POST /cluster/heartbeat — periodic liveness-and-load report
-//	GET  /cluster/workers   — fleet view for operators and smoke tests
+//	POST /cluster/register          — a worker announces itself
+//	POST /cluster/heartbeat         — periodic liveness-and-load report
+//	POST /cluster/claims            — long-poll to claim a job under a lease
+//	POST /cluster/claims/renew      — extend a held lease
+//	POST /cluster/claims/report     — terminal report (result bytes or error)
+//	POST /cluster/claims/replicate  — peer coordinator reconciliation
+//	GET  /cluster/claims            — claim table view for operators and drills
+//	GET  /cluster/workers           — fleet view for operators and drills
 func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /cluster/register", func(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +263,76 @@ func (co *Coordinator) Handler() http.Handler {
 		}
 		writeClusterJSON(w, http.StatusOK, HeartbeatAck{Registered: co.reg.heartbeat(m)})
 	})
+	mux.HandleFunc("POST /cluster/claims", func(w http.ResponseWriter, r *http.Request) {
+		m, err := DecodeClaimRequest(r.Body)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		wait := time.Duration(m.WaitMs) * time.Millisecond
+		if wait > co.cfg.ClaimWait {
+			wait = co.cfg.ClaimWait
+		}
+		deadline := time.Now().Add(wait)
+		for {
+			// Fetch the wake channel before trying to claim: any grant-able
+			// mutation after the attempt closes this channel, so no wakeup
+			// can slip between the miss and the select.
+			wake := co.table.wait()
+			if g, ok := co.table.Claim(m.Worker); ok {
+				writeClusterJSON(w, http.StatusOK, g)
+				return
+			}
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+			timer := time.NewTimer(remaining)
+			select {
+			case <-r.Context().Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+				w.WriteHeader(http.StatusNoContent)
+				return
+			case <-wake:
+				timer.Stop()
+			}
+		}
+	})
+	mux.HandleFunc("POST /cluster/claims/renew", func(w http.ResponseWriter, r *http.Request) {
+		m, err := DecodeClaimRenew(r.Body)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, RenewAck{OK: co.table.Renew(m.Worker, m.Key, m.Attempt)})
+	})
+	mux.HandleFunc("POST /cluster/claims/report", func(w http.ResponseWriter, r *http.Request) {
+		m, err := DecodeClaimReport(r.Body)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		accepted := co.table.Report(m.Worker, m.Key, m.Attempt, m.State, m.Result, m.Error)
+		if accepted {
+			co.cfg.Logf("cluster: claim %s settled %s by worker %s (attempt %d)", m.Key[:12], m.State, m.Worker, m.Attempt)
+		}
+		writeClusterJSON(w, http.StatusOK, ReportAck{Accepted: accepted})
+	})
+	mux.HandleFunc("POST /cluster/claims/replicate", func(w http.ResponseWriter, r *http.Request) {
+		m, err := DecodeReplicateBatch(r.Body)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		co.table.Merge(m.Records)
+		writeClusterJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /cluster/claims", func(w http.ResponseWriter, r *http.Request) {
+		writeClusterJSON(w, http.StatusOK, map[string]any{"claims": co.table.Views()})
+	})
 	mux.HandleFunc("GET /cluster/workers", func(w http.ResponseWriter, r *http.Request) {
 		writeClusterJSON(w, http.StatusOK, map[string]any{
 			"workers":  co.reg.views(),
@@ -190,63 +342,25 @@ func (co *Coordinator) Handler() http.Handler {
 	return mux
 }
 
-// attemptResult is one worker's answer to one dispatched copy of a job.
-type attemptResult struct {
-	w       *workerHandle
-	hedge   bool
-	bytes   []byte
-	err     error
-	perm    bool // permanent: deterministic failure or version skew — no worker will do better
-	elapsed time.Duration
-}
-
-// Dispatch implements server.Cluster: run the job on the least-loaded
-// worker, fail over to survivors if the worker dies mid-job, hedge a
-// straggler with a second copy, first result wins. Returns
-// server.ErrNoWorkers when nobody can take the job (the server then
-// executes it locally in degraded mode).
+// Dispatch implements server.Cluster: enqueue the job in the claim
+// table and wait for a worker to claim and settle it. Liveness comes
+// from leases — if the claiming worker dies, the lease expires and the
+// next claimer re-executes; if this whole coordinator dies, a peer's
+// copy of the claim serves the job to completion. A claim outstanding
+// past the per-label hedge threshold is opened to a second claimant,
+// first terminal result wins. Returns server.ErrNoWorkers when the
+// fleet is empty (the server then executes locally in degraded mode).
 func (co *Coordinator) Dispatch(ctx context.Context, key, label string, spec server.JobSpec, progress io.Writer) ([]byte, error) {
-	specJSON, err := json.Marshal(spec)
-	if err != nil {
-		return nil, fmt.Errorf("marshal spec for dispatch: %w", err)
-	}
-	body, err := json.Marshal(Dispatch{Key: key, Label: label, Spec: specJSON})
-	if err != nil {
-		return nil, fmt.Errorf("marshal dispatch: %w", err)
-	}
-
-	dctx, cancel := context.WithCancel(ctx)
-	defer cancel() // stops losing copies once a winner lands
-
-	results := make(chan attemptResult, co.cfg.MaxAttempts) // buffered: losers never block
-	tried := map[string]bool{}                              // workers a copy has been launched on
-	inflight, launches := 0, 0
-
-	launch := func(hedge bool) *workerHandle {
-		if launches >= co.cfg.MaxAttempts {
-			return nil
-		}
-		w := co.reg.pick(tried)
-		if w == nil {
-			return nil
-		}
-		tried[w.id] = true
-		co.reg.assign(w, key)
-		inflight++
-		launches++
-		start := co.cfg.Now()
-		go func() {
-			bytes, perm, err := co.runOn(dctx, w, key, body)
-			results <- attemptResult{w: w, hedge: hedge, bytes: bytes, err: err, perm: perm, elapsed: co.cfg.Now().Sub(start)}
-		}()
-		return w
-	}
-
-	w := launch(false)
-	if w == nil {
+	if live, suspect, _ := co.reg.counts(); live+suspect == 0 {
 		return nil, server.ErrNoWorkers
 	}
-	fmt.Fprintf(progress, "cluster: dispatched to worker %s\n", w.id)
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("marshal spec for claim: %w", err)
+	}
+	start := co.cfg.Now()
+	done := co.table.Enqueue(key, label, specJSON)
+	fmt.Fprintf(progress, "cluster: enqueued for claim (key %s…)\n", key[:12])
 
 	// Arm the hedge timer if we have a straggler threshold for this label.
 	var hedgeC <-chan time.Time
@@ -256,7 +370,13 @@ func (co *Coordinator) Dispatch(ctx context.Context, key, label string, spec ser
 		hedgeC = t.C
 	}
 
-	var lastErr error
+	// Watchdog: if every worker disappears while the claim is open, fall
+	// back to local execution rather than waiting on a lease nobody will
+	// ever take. The entry stays in the table; determinism makes a
+	// late-returning worker's duplicate execution harmless.
+	watch := time.NewTicker(co.cfg.HeartbeatInterval)
+	defer watch.Stop()
+
 	for {
 		select {
 		case <-ctx.Done():
@@ -264,121 +384,29 @@ func (co *Coordinator) Dispatch(ctx context.Context, key, label string, spec ser
 
 		case <-hedgeC:
 			hedgeC = nil // at most one hedge per dispatch
-			if hw := launch(true); hw != nil {
+			if co.table.MarkHedgeable(key) {
 				atomic.AddUint64(&co.hedgesStarted, 1)
-				fmt.Fprintf(progress, "cluster: straggler — hedging on worker %s\n", hw.id)
+				fmt.Fprintf(progress, "cluster: straggler — claim opened to a hedge worker\n")
 			}
 
-		case r := <-results:
-			inflight--
-			co.reg.release(r.w, key)
-			if r.err == nil {
-				co.lat.observe(label, r.elapsed)
-				if r.hedge {
-					atomic.AddUint64(&co.hedgesWon, 1)
-					fmt.Fprintf(progress, "cluster: hedge on worker %s won\n", r.w.id)
-				}
-				return r.bytes, nil
-			}
-			if r.perm {
-				// Deterministic failure: the job fails identically on every
-				// worker, so retrying elsewhere only burns budget.
-				return nil, r.err
-			}
-			lastErr = r.err
-			co.cfg.Logf("cluster: %v", r.err)
-			fmt.Fprintf(progress, "cluster: %v\n", r.err)
-			if fw := launch(false); fw != nil {
-				atomic.AddUint64(&co.failovers, 1)
-				fmt.Fprintf(progress, "cluster: failed over to worker %s\n", fw.id)
-			} else if inflight == 0 {
-				if launches >= co.cfg.MaxAttempts {
-					return nil, fmt.Errorf("dispatch budget exhausted after %d workers: %w", launches, lastErr)
-				}
-				// No survivor left to try; let the server run it locally.
+		case <-watch.C:
+			if live, suspect, _ := co.reg.counts(); live+suspect == 0 {
+				fmt.Fprintf(progress, "cluster: fleet lost mid-claim, falling back\n")
 				return nil, server.ErrNoWorkers
 			}
-		}
-	}
-}
 
-// runOn executes one copy of a job on one worker: hand the spec over,
-// poll until terminal, fetch the bytes. perm=true marks failures no
-// other worker can fix (deterministic job failure, version skew);
-// perm=false failures mean "this worker is lost, try another".
-func (co *Coordinator) runOn(ctx context.Context, w *workerHandle, key string, body []byte) (result []byte, perm bool, err error) {
-	cl := co.clientFor(w.addr)
-	data, status, err := cl.Do(ctx, http.MethodPost, "/cluster/dispatch", body)
-	if err != nil {
-		if ctx.Err() != nil {
-			return nil, false, ctx.Err()
-		}
-		return nil, false, fmt.Errorf("worker %s unreachable: %w", w.id, err)
-	}
-	switch status {
-	case http.StatusOK, http.StatusCreated:
-	case http.StatusConflict:
-		return nil, true, fmt.Errorf("worker %s refused dispatch (version skew): %s", w.id, strings.TrimSpace(string(data)))
-	default:
-		return nil, true, fmt.Errorf("worker %s rejected dispatch: HTTP %d: %s", w.id, status, strings.TrimSpace(string(data)))
-	}
-	var env struct {
-		Job struct {
-			ID    string `json:"id"`
-			State string `json:"state"`
-			Error string `json:"error"`
-		} `json:"job"`
-	}
-	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, false, fmt.Errorf("worker %s: malformed dispatch response: %v", w.id, err)
-	}
-
-	id := env.Job.ID
-	state, errMsg := env.Job.State, env.Job.Error
-	for {
-		switch state {
-		case "done":
-			b, rerr := cl.Result(ctx, id)
-			if rerr != nil {
-				if ctx.Err() != nil {
-					return nil, false, ctx.Err()
-				}
-				return nil, false, fmt.Errorf("worker %s lost result for job %s: %v", w.id, id, rerr)
+		case <-done:
+			result, errMsg, ok := co.table.Result(key)
+			if !ok {
+				return nil, errors.New("claim settled but entry vanished")
 			}
-			return b, false, nil
-		case "failed":
-			return nil, true, fmt.Errorf("job failed on worker %s: %s", w.id, errMsg)
-		}
-
-		select {
-		case <-ctx.Done():
-			co.cancelRemote(w.addr, id) // best-effort: don't burn a worker slot on an abandoned job
-			return nil, false, ctx.Err()
-		case <-w.dead:
-			return nil, false, fmt.Errorf("worker %s declared dead mid-job", w.id)
-		case <-time.After(co.cfg.PollInterval):
-		}
-
-		j, jerr := cl.Job(ctx, id)
-		if jerr != nil {
-			if ctx.Err() != nil {
-				return nil, false, ctx.Err()
+			if errMsg != "" {
+				return nil, errors.New(errMsg)
 			}
-			if errors.Is(jerr, client.ErrJobNotFound) {
-				return nil, false, fmt.Errorf("worker %s lost job %s (restarted?)", w.id, id)
-			}
-			return nil, false, fmt.Errorf("worker %s unreachable mid-job: %v", w.id, jerr)
+			co.lat.observe(label, co.cfg.Now().Sub(start))
+			return result, nil
 		}
-		state, errMsg = j.State, j.Error
 	}
-}
-
-// cancelRemote DELETEs an abandoned job on a worker, detached from the
-// (already cancelled) dispatch context.
-func (co *Coordinator) cancelRemote(addr, id string) {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	co.clientFor(addr).Do(ctx, http.MethodDelete, "/jobs/"+id, nil)
 }
 
 // hedgeThreshold picks the straggler threshold for a label: the fixed
@@ -388,25 +416,6 @@ func (co *Coordinator) hedgeThreshold(label string) (time.Duration, bool) {
 		return co.cfg.HedgeAfter, true
 	}
 	return co.lat.threshold(label)
-}
-
-// clientFor returns the cached retrying client for a worker address.
-// Retries stay small — failover, not the transport, is the real retry
-// mechanism.
-func (co *Coordinator) clientFor(addr string) *client.Client {
-	if cl, ok := co.clients.Load(addr); ok {
-		return cl.(*client.Client)
-	}
-	cl := client.New(client.Config{
-		BaseURL:      addr,
-		HTTPClient:   co.cfg.HTTPClient,
-		MaxRetries:   co.cfg.DispatchRetries,
-		BaseBackoff:  50 * time.Millisecond,
-		MaxBackoff:   500 * time.Millisecond,
-		PollInterval: co.cfg.PollInterval,
-	})
-	actual, _ := co.clients.LoadOrStore(addr, cl)
-	return actual.(*client.Client)
 }
 
 // writeClusterJSON / clusterError are the package's tiny response

@@ -9,7 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
-	"sync/atomic"
+	"sync"
 	"testing"
 	"time"
 
@@ -18,14 +18,13 @@ import (
 
 const runSpecBody = `{"kind":"run","kernel":"CG","nodes":4}`
 
-// fastCfg keeps dispatch tests snappy and deterministic: the background
+// fastCfg keeps claim tests snappy and deterministic: the background
 // sweep ticker is parked at an hour so tests drive sweeps (and the fake
 // clock) by hand.
 func fastCfg(clk *fakeClock) Config {
 	cfg := Config{
 		HeartbeatInterval: time.Hour,
-		PollInterval:      5 * time.Millisecond,
-		DispatchRetries:   1,
+		ClaimWait:         100 * time.Millisecond,
 	}
 	if clk != nil {
 		cfg.Now = clk.now
@@ -33,80 +32,63 @@ func fastCfg(clk *fakeClock) Config {
 	return cfg
 }
 
-// stubEnvelope is a minimal POST /cluster/dispatch response.
-func stubEnvelope(id, state string) string {
-	return fmt.Sprintf(`{"job":{"id":%q,"state":%q,"key":%q}}`, id, state, testKey)
-}
-
-// stubJob is a minimal GET /jobs/{id} response.
-func stubJob(id, state, errMsg string) string {
-	return fmt.Sprintf(`{"id":%q,"state":%q,"error":%q}`, id, state, errMsg)
-}
-
-// stubWorker builds an httptest worker whose dispatch accepts, whose job
-// poll answers state, and whose result serves bytes. dispatched (if
-// non-nil) is closed on the first dispatch.
-func stubWorker(t *testing.T, state, errMsg, result string, dispatched chan struct{}) *httptest.Server {
+// claimOnce POSTs one claim long-poll as worker and returns the grant,
+// or ok=false on 204.
+func claimOnce(t *testing.T, coURL, worker string, waitMs int64) (ClaimGrant, bool) {
 	t.Helper()
-	var once atomic.Bool
-	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch {
-		case r.Method == http.MethodPost && r.URL.Path == "/cluster/dispatch":
-			if dispatched != nil && once.CompareAndSwap(false, true) {
-				close(dispatched)
-			}
-			w.WriteHeader(http.StatusCreated)
-			io.WriteString(w, stubEnvelope("job-1", "queued"))
-		case r.Method == http.MethodGet && r.URL.Path == "/jobs/job-1":
-			io.WriteString(w, stubJob("job-1", state, errMsg))
-		case r.Method == http.MethodGet && r.URL.Path == "/jobs/job-1/result":
-			io.WriteString(w, result)
-		case r.Method == http.MethodDelete && r.URL.Path == "/jobs/job-1":
-			io.WriteString(w, `{}`)
-		default:
-			http.NotFound(w, r)
-		}
-	}))
-	t.Cleanup(ts.Close)
-	return ts
-}
-
-func TestDispatchHappyPath(t *testing.T) {
-	clk := newFakeClock()
-	co := NewCoordinator(fastCfg(clk))
-	defer co.Close()
-
-	ts := stubWorker(t, "done", "", "RESULT-BYTES", nil)
-	co.reg.register(Register{ID: "w1", Addr: ts.URL, Capacity: 2})
-
-	b, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	body := fmt.Sprintf(`{"worker":%q,"wait_ms":%d}`, worker, waitMs)
+	resp, err := http.Post(coURL+"/cluster/claims", "application/json", strings.NewReader(body))
 	if err != nil {
-		t.Fatalf("Dispatch: %v", err)
+		t.Fatalf("POST /cluster/claims: %v", err)
 	}
-	if string(b) != "RESULT-BYTES" {
-		t.Fatalf("Dispatch returned %q", b)
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return ClaimGrant{}, false
 	}
-	st := co.Stats()
-	if st.Failovers != 0 || st.HedgesStarted != 0 {
-		t.Fatalf("unexpected counters: %+v", st)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("claim: HTTP %d: %s", resp.StatusCode, b)
 	}
-	if vs := co.reg.views(); vs[0].Assigned != 0 || len(vs[0].Inflight) != 0 {
-		t.Fatalf("dispatch not released: %+v", vs[0])
+	g, err := DecodeClaimGrant(resp.Body)
+	if err != nil {
+		t.Fatalf("decode grant: %v", err)
+	}
+	return g, true
+}
+
+// reportClaim POSTs a terminal report and returns whether it was
+// accepted.
+func reportClaim(t *testing.T, coURL string, rep ClaimReport) bool {
+	t.Helper()
+	b, _ := json.Marshal(rep)
+	resp, err := http.Post(coURL+"/cluster/claims/report", "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatalf("POST /cluster/claims/report: %v", err)
+	}
+	defer resp.Body.Close()
+	var ack ReportAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatalf("decode report ack: %v", err)
+	}
+	return ack.Accepted
+}
+
+func TestDispatchNoWorkers(t *testing.T) {
+	co := NewCoordinator(fastCfg(newFakeClock()))
+	defer co.Close()
+	_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	if !errors.Is(err, server.ErrNoWorkers) {
+		t.Fatalf("Dispatch with empty registry: %v, want ErrNoWorkers", err)
 	}
 }
 
-func TestDispatchFailoverOnDeadWorker(t *testing.T) {
+func TestDispatchClaimRoundTrip(t *testing.T) {
 	clk := newFakeClock()
 	co := NewCoordinator(fastCfg(clk))
 	defer co.Close()
-
-	dispatched := make(chan struct{})
-	hang := stubWorker(t, "running", "", "", dispatched) // never finishes
-	good := stubWorker(t, "done", "", "FROM-SURVIVOR", nil)
-	// Ids sort "a" < "b", so the tie-break sends the job to the hanging
-	// worker first.
-	co.reg.register(Register{ID: "a", Addr: hang.URL, Capacity: 2})
-	co.reg.register(Register{ID: "b", Addr: good.URL, Capacity: 2})
+	ts := httptest.NewServer(co.Handler())
+	defer ts.Close()
+	co.reg.register(Register{ID: "w1", Addr: "http://w1", Capacity: 2})
 
 	type res struct {
 		b   []byte
@@ -118,182 +100,193 @@ func TestDispatchFailoverOnDeadWorker(t *testing.T) {
 		done <- res{b, err}
 	}()
 
-	<-dispatched // the job is in flight on worker a
-	// Worker a goes silent past the dead deadline; b keeps beating.
-	clk.advance(co.cfg.DeadAfter + time.Second)
-	co.reg.heartbeat(Heartbeat{ID: "b", Capacity: 2})
-	if died := co.reg.sweep(); len(died) != 1 || died[0] != "a" {
-		t.Fatalf("sweep declared dead: %v, want [a]", died)
+	// The worker pulls the claim over the real HTTP path and reports.
+	var g ClaimGrant
+	waitFor(t, 10*time.Second, func() bool {
+		var ok bool
+		g, ok = claimOnce(t, ts.URL, "w1", 50)
+		return ok
+	}, "claim never granted")
+	if g.Key != testKey || g.Attempt != 1 {
+		t.Fatalf("grant = %+v", g)
+	}
+	if !reportClaim(t, ts.URL, ClaimReport{Worker: "w1", Key: testKey, Attempt: 1, State: ClaimDone, Result: []byte("CLAIMED-BYTES")}) {
+		t.Fatal("report rejected")
 	}
 
 	r := <-done
 	if r.err != nil {
-		t.Fatalf("Dispatch after failover: %v", r.err)
+		t.Fatalf("Dispatch: %v", r.err)
 	}
-	if string(r.b) != "FROM-SURVIVOR" {
-		t.Fatalf("failover result = %q", r.b)
+	if string(r.b) != "CLAIMED-BYTES" {
+		t.Fatalf("Dispatch returned %q", r.b)
 	}
 	st := co.Stats()
-	if st.Failovers != 1 || st.Live != 1 || st.Dead != 1 {
-		t.Fatalf("stats after failover: %+v", st)
+	if st.ClaimsGranted != 1 || st.ClaimsCompleted != 1 || st.LeaseExpirations != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The claim table view shows the settled entry.
+	body, _ := getBody(t, ts.URL+"/cluster/claims")
+	if !strings.Contains(body, `"state":"done"`) {
+		t.Fatalf("claim view missing settled entry: %s", body)
 	}
 }
 
-func TestDispatchDeterministicFailureDoesNotFailOver(t *testing.T) {
+func TestDispatchDeterministicFailurePropagates(t *testing.T) {
 	clk := newFakeClock()
 	co := NewCoordinator(fastCfg(clk))
 	defer co.Close()
+	ts := httptest.NewServer(co.Handler())
+	defer ts.Close()
+	co.reg.register(Register{ID: "w1", Addr: "http://w1", Capacity: 2})
 
-	failing := stubWorker(t, "failed", "solver diverged", "", nil)
-	var spareDispatches atomic.Int64
-	spare := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		spareDispatches.Add(1)
-		w.WriteHeader(http.StatusCreated)
-		io.WriteString(w, stubEnvelope("job-9", "queued"))
-	}))
-	defer spare.Close()
-	co.reg.register(Register{ID: "a", Addr: failing.URL, Capacity: 2})
-	co.reg.register(Register{ID: "b", Addr: spare.URL, Capacity: 2})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+		errc <- err
+	}()
+	waitFor(t, 10*time.Second, func() bool {
+		_, ok := claimOnce(t, ts.URL, "w1", 50)
+		return ok
+	}, "claim never granted")
+	reportClaim(t, ts.URL, ClaimReport{Worker: "w1", Key: testKey, Attempt: 1, State: ClaimFailed, Error: "solver diverged"})
 
-	_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	err := <-errc
 	if err == nil || !strings.Contains(err.Error(), "solver diverged") {
 		t.Fatalf("Dispatch err = %v, want the job's own failure", err)
 	}
-	// Deterministic: the same spec fails the same way everywhere, so no
-	// copy may be burned on another worker.
-	if n := spareDispatches.Load(); n != 0 {
-		t.Fatalf("deterministic failure was retried on another worker %d times", n)
-	}
-	if st := co.Stats(); st.Failovers != 0 {
-		t.Fatalf("failovers = %d, want 0", st.Failovers)
-	}
-}
-
-func TestDispatchVersionSkewIsPermanent(t *testing.T) {
-	clk := newFakeClock()
-	co := NewCoordinator(fastCfg(clk))
-	defer co.Close()
-
-	skewed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusConflict)
-		io.WriteString(w, `{"error":"cache key mismatch"}`)
-	}))
-	defer skewed.Close()
-	co.reg.register(Register{ID: "w1", Addr: skewed.URL, Capacity: 2})
-
-	_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
-	if err == nil || !strings.Contains(err.Error(), "version skew") {
-		t.Fatalf("Dispatch err = %v, want version-skew refusal", err)
-	}
-}
-
-func TestDispatchNoWorkers(t *testing.T) {
-	clk := newFakeClock()
-	co := NewCoordinator(fastCfg(clk))
-	defer co.Close()
-	_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
-	if !errors.Is(err, server.ErrNoWorkers) {
-		t.Fatalf("Dispatch with empty registry: %v, want ErrNoWorkers", err)
+	if st := co.Stats(); st.ClaimsFailed != 1 {
+		t.Fatalf("stats: %+v", st)
 	}
 }
 
 func TestDispatchHedgeWins(t *testing.T) {
-	clk := newFakeClock()
-	cfg := fastCfg(clk)
+	cfg := fastCfg(nil) // real clock: the hedge timer and lease run on it
 	cfg.HedgeAfter = 20 * time.Millisecond
+	cfg.LeaseDuration = time.Hour // the straggler's lease never expires
 	co := NewCoordinator(cfg)
 	defer co.Close()
+	ts := httptest.NewServer(co.Handler())
+	defer ts.Close()
+	co.reg.register(Register{ID: "a", Addr: "http://a", Capacity: 2})
+	co.reg.register(Register{ID: "b", Addr: "http://b", Capacity: 2})
 
-	straggler := stubWorker(t, "running", "", "", nil) // never finishes
-	fast := stubWorker(t, "done", "", "HEDGE-WON", nil)
-	co.reg.register(Register{ID: "a", Addr: straggler.URL, Capacity: 2})
-	co.reg.register(Register{ID: "b", Addr: fast.URL, Capacity: 2})
-
-	b, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
-	if err != nil {
-		t.Fatalf("Dispatch: %v", err)
+	type res struct {
+		b   []byte
+		err error
 	}
-	if string(b) != "HEDGE-WON" {
-		t.Fatalf("hedged dispatch returned %q", b)
+	done := make(chan res, 1)
+	go func() {
+		b, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+		done <- res{b, err}
+	}()
+
+	// Worker a claims first and stalls forever.
+	waitFor(t, 10*time.Second, func() bool {
+		_, ok := claimOnce(t, ts.URL, "a", 50)
+		return ok
+	}, "primary claim never granted")
+
+	// Past HedgeAfter the claim opens to worker b.
+	var hedge ClaimGrant
+	waitFor(t, 10*time.Second, func() bool {
+		var ok bool
+		hedge, ok = claimOnce(t, ts.URL, "b", 50)
+		return ok
+	}, "hedge claim never opened")
+	if hedge.Attempt != 2 {
+		t.Fatalf("hedge grant = %+v", hedge)
+	}
+	if !reportClaim(t, ts.URL, ClaimReport{Worker: "b", Key: testKey, Attempt: hedge.Attempt, State: ClaimDone, Result: []byte("HEDGE-WON")}) {
+		t.Fatal("hedge report rejected")
+	}
+
+	r := <-done
+	if r.err != nil || string(r.b) != "HEDGE-WON" {
+		t.Fatalf("hedged dispatch = %q, %v", r.b, r.err)
 	}
 	st := co.Stats()
-	if st.HedgesStarted != 1 || st.HedgesWon != 1 {
+	if st.HedgesStarted != 1 || st.HedgesWon != 1 || st.ClaimContention != 1 {
 		t.Fatalf("hedge counters: %+v", st)
 	}
-	if st.Failovers != 0 {
-		t.Fatalf("hedge counted as failover: %+v", st)
+
+	// The straggler's late, byte-identical report is a duplicate.
+	if reportClaim(t, ts.URL, ClaimReport{Worker: "a", Key: testKey, Attempt: 1, State: ClaimDone, Result: []byte("HEDGE-WON")}) {
+		t.Fatal("straggler's duplicate report accepted")
+	}
+	if st := co.Stats(); st.ClaimsDuplicate != 1 {
+		t.Fatalf("duplicate not counted: %+v", st)
 	}
 }
 
-func TestWorkerHandlerDispatch(t *testing.T) {
-	srv := server.New(server.Config{})
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		srv.Shutdown(ctx)
-	}()
-	ts := httptest.NewServer(WorkerHandler(srv))
+// TestClaimLongPollWakes: a parked long-poll is woken by new work
+// instead of sleeping out its full window.
+func TestClaimLongPollWakes(t *testing.T) {
+	cfg := fastCfg(nil)
+	cfg.ClaimWait = 30 * time.Second // far past the test timeout
+	co := NewCoordinator(cfg)
+	defer co.Close()
+	ts := httptest.NewServer(co.Handler())
 	defer ts.Close()
 
-	key, err := srv.CacheKeyFor([]byte(runSpecBody))
-	if err != nil {
-		t.Fatalf("CacheKeyFor: %v", err)
-	}
-	post := func(body string) (int, string) {
-		t.Helper()
-		resp, err := http.Post(ts.URL+"/cluster/dispatch", "application/json", strings.NewReader(body))
-		if err != nil {
-			t.Fatalf("POST /cluster/dispatch: %v", err)
+	start := time.Now()
+	got := make(chan ClaimGrant, 1)
+	go func() {
+		if g, ok := claimOnce(t, ts.URL, "w1", 30_000); ok {
+			got <- g
 		}
-		defer resp.Body.Close()
-		b, _ := io.ReadAll(resp.Body)
-		return resp.StatusCode, string(b)
-	}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	co.table.Enqueue(testKey, "run/CG", nil)
 
-	// Happy path: admitted through the normal submission machinery.
-	status, body := post(`{"key":"` + key + `","label":"run/CG","spec":` + runSpecBody + `}`)
-	if status != http.StatusCreated {
-		t.Fatalf("dispatch: HTTP %d: %s", status, body)
+	select {
+	case g := <-got:
+		if g.Key != testKey {
+			t.Fatalf("woken claim grant = %+v", g)
+		}
+		if since := time.Since(start); since > 5*time.Second {
+			t.Fatalf("long-poll woke after %s; enqueue did not wake it", since)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked long-poll never woke on enqueue")
 	}
-	var env struct {
-		Job struct {
-			ID  string `json:"id"`
-			Key string `json:"key"`
-		} `json:"job"`
-	}
-	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Job.ID == "" {
-		t.Fatalf("dispatch envelope: %s (%v)", body, err)
-	}
-	if env.Job.Key != key {
-		t.Fatalf("worker filed the job under %s, coordinator sent %s", env.Job.Key, key)
-	}
+}
 
-	// Re-dispatch coalesces (dedup or cache hit, depending on timing).
-	if status, _ := post(`{"key":"` + key + `","label":"run/CG","spec":` + runSpecBody + `}`); status != http.StatusOK {
-		t.Fatalf("re-dispatch: HTTP %d, want 200", status)
-	}
+// TestClaimerVersionSkew: a claimer whose spec hash disagrees with the
+// grant reports a deterministic failure instead of running.
+func TestClaimerVersionSkew(t *testing.T) {
+	co := NewCoordinator(fastCfg(nil))
+	defer co.Close()
+	ts := httptest.NewServer(co.Handler())
+	defer ts.Close()
+	co.reg.register(Register{ID: "w1", Addr: "http://w1", Capacity: 1})
 
-	// Version skew: a well-formed key that isn't what this worker computes.
-	status, body = post(`{"key":"` + strings.Repeat("00", 32) + `","label":"run/CG","spec":` + runSpecBody + `}`)
-	if status != http.StatusConflict || !strings.Contains(body, "mismatch") {
-		t.Fatalf("skewed dispatch: HTTP %d: %s", status, body)
-	}
+	c := StartClaimer(ClaimerConfig{
+		Coordinators: []string{ts.URL},
+		ID:           "w1",
+		PollWait:     50 * time.Millisecond,
+		KeyFor:       func([]byte) (string, error) { return strings.Repeat("00", 32), nil },
+		Run: func(context.Context, []byte) ([]byte, error) {
+			t.Error("skewed claim must not run")
+			return nil, nil
+		},
+	})
+	defer c.Stop()
 
-	// Garbage wire message and unknown spec kind are both 400s.
-	if status, _ = post(`{"nope":true}`); status != http.StatusBadRequest {
-		t.Fatalf("garbage dispatch: HTTP %d", status)
-	}
-	if status, _ = post(`{"key":"` + key + `","label":"x","spec":{"kind":"no-such-kind"}}`); status != http.StatusBadRequest {
-		t.Fatalf("bad spec dispatch: HTTP %d", status)
+	_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "version skew") {
+		t.Fatalf("Dispatch err = %v, want version-skew failure", err)
 	}
 }
 
 // coordinatorServer wires a Coordinator into a real slipd server the way
-// cmd/slipd does: cluster API and client API on one mux.
+// cmd/slipd does: cluster API and client API on one mux, results
+// attached so settled claims land in the coordinator's cache.
 func coordinatorServer(t *testing.T, cfg Config) (*Coordinator, *server.Server, *httptest.Server) {
 	t.Helper()
 	co := NewCoordinator(cfg)
 	srv := server.New(server.Config{Cluster: co})
+	co.AttachResults(srv)
 	mux := http.NewServeMux()
 	mux.Handle("/cluster/", co.Handler())
 	mux.Handle("/", srv.Handler())
@@ -308,22 +301,47 @@ func coordinatorServer(t *testing.T, cfg Config) (*Coordinator, *server.Server, 
 	return co, srv, ts
 }
 
-// workerServer builds a real slipd worker: dispatch endpoint plus the
-// full client API.
-func workerServer(t *testing.T) (*server.Server, *httptest.Server) {
+// startWorker builds a real slipd worker the way cmd/slipd does: a
+// plain server, a membership agent per coordinator, and a claimer that
+// executes granted specs through the normal submission machinery.
+func startWorker(t *testing.T, id string, coURLs []string) *server.Server {
 	t.Helper()
 	srv := server.New(server.Config{})
-	mux := http.NewServeMux()
-	mux.Handle("/cluster/dispatch", WorkerHandler(srv))
-	mux.Handle("/", srv.Handler())
-	ts := httptest.NewServer(mux)
 	t.Cleanup(func() {
-		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
 	})
-	return srv, ts
+	for _, u := range coURLs {
+		a, err := StartAgent(AgentConfig{
+			Coordinator: u,
+			ID:          id,
+			Advertise:   "http://" + id + ".invalid",
+			Capacity:    2,
+			Load:        srv.Load,
+			Interval:    25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("StartAgent: %v", err)
+		}
+		t.Cleanup(a.Stop)
+	}
+	c := StartClaimer(ClaimerConfig{
+		Coordinators: coURLs,
+		ID:           id,
+		Slots:        2,
+		PollWait:     100 * time.Millisecond,
+		KeyFor:       srv.CacheKeyFor,
+		Run: func(ctx context.Context, spec []byte) ([]byte, error) {
+			view, _, err := srv.SubmitJSON(spec)
+			if err != nil {
+				return nil, err
+			}
+			return srv.Await(ctx, view.ID)
+		},
+	})
+	t.Cleanup(c.Stop)
+	return srv
 }
 
 func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
@@ -390,43 +408,27 @@ func referenceRun(t *testing.T, spec string) string {
 func TestFleetEndToEnd(t *testing.T) {
 	want := referenceRun(t, runSpecBody)
 
-	cfg := Config{HeartbeatInterval: 25 * time.Millisecond, PollInterval: 10 * time.Millisecond}
+	cfg := Config{HeartbeatInterval: 25 * time.Millisecond, ClaimWait: 100 * time.Millisecond}
 	co, _, cts := coordinatorServer(t, cfg)
 
-	w1, ts1 := workerServer(t)
-	w2, ts2 := workerServer(t)
-	for i, w := range []struct {
-		srv *server.Server
-		url string
-	}{{w1, ts1.URL}, {w2, ts2.URL}} {
-		a, err := StartAgent(AgentConfig{
-			Coordinator: cts.URL,
-			ID:          fmt.Sprintf("worker-%d", i),
-			Advertise:   w.url,
-			Capacity:    2,
-			Load:        w.srv.Load,
-			Interval:    25 * time.Millisecond,
-		})
-		if err != nil {
-			t.Fatalf("StartAgent: %v", err)
-		}
-		t.Cleanup(a.Stop)
-	}
+	w1 := startWorker(t, "worker-0", []string{cts.URL})
+	w2 := startWorker(t, "worker-1", []string{cts.URL})
 
 	// Both workers enroll via the real register/heartbeat HTTP path.
 	waitFor(t, 10*time.Second, func() bool {
 		return co.Stats().Live == 2
 	}, "workers never enrolled")
 
-	// A job submitted to the coordinator runs on a worker and returns
-	// byte-identical results.
+	// A job submitted to the coordinator is claimed by a worker and
+	// returns byte-identical results.
 	resp, err := http.Post(cts.URL+"/jobs", "application/json", strings.NewReader(runSpecBody))
 	if err != nil {
 		t.Fatalf("submit to coordinator: %v", err)
 	}
 	var env struct {
 		Job struct {
-			ID string `json:"id"`
+			ID  string `json:"id"`
+			Key string `json:"key"`
 		} `json:"job"`
 	}
 	json.NewDecoder(resp.Body).Decode(&env)
@@ -448,14 +450,23 @@ func TestFleetEndToEnd(t *testing.T) {
 	if w1.RunsTotal()+w2.RunsTotal() == 0 {
 		t.Fatal("no worker executed anything; the coordinator must have run the job itself")
 	}
+	// AttachResults landed the settled bytes in the coordinator's own
+	// content-addressed cache.
+	byKey, status := getBody(t, cts.URL+"/results/"+env.Job.Key)
+	if status != http.StatusOK || byKey != want {
+		t.Fatalf("coordinator /results/{key}: HTTP %d %q", status, byKey)
+	}
 
 	// Fleet observability: metrics gauges and a healthy readyz.
 	metrics, _ := getBody(t, cts.URL+"/metrics")
 	if !strings.Contains(metrics, `slipd_workers{state="live"} 2`) {
 		t.Fatalf("metrics missing live worker gauge:\n%s", metrics)
 	}
+	if !strings.Contains(metrics, `slipd_claims_total{outcome="done"} 1`) {
+		t.Fatalf("metrics missing settled claim counter:\n%s", metrics)
+	}
 	ready, status := getBody(t, cts.URL+"/readyz")
-	if status != http.StatusOK || !strings.Contains(ready, `"degraded":false`) {
+	if status != http.StatusOK || !strings.Contains(ready, `"degraded":false`) || !strings.Contains(ready, `"role":"coordinator"`) {
 		t.Fatalf("readyz: HTTP %d %s", status, ready)
 	}
 	workers, _ := getBody(t, cts.URL+"/cluster/workers")
@@ -467,7 +478,7 @@ func TestFleetEndToEnd(t *testing.T) {
 func TestCoordinatorDegradedLocalFallback(t *testing.T) {
 	want := referenceRun(t, runSpecBody)
 
-	cfg := Config{HeartbeatInterval: 25 * time.Millisecond, PollInterval: 10 * time.Millisecond}
+	cfg := Config{HeartbeatInterval: 25 * time.Millisecond, ClaimWait: 100 * time.Millisecond}
 	_, srv, cts := coordinatorServer(t, cfg)
 
 	// Zero workers: the coordinator must still answer, locally.
@@ -511,19 +522,133 @@ func TestCoordinatorDegradedLocalFallback(t *testing.T) {
 	}
 }
 
+// swapHandler lets two peered coordinators learn each other's URL: the
+// httptest servers come up first with an empty handler, the real
+// handlers are installed once both URLs are known.
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// TestTwoCoordinatorFailover is the HA tentpole in miniature: two
+// peered coordinators replicate the claim table; when the granting
+// coordinator dies mid-claim, the survivor's copy of the lease expires
+// and a second worker finishes the job through the survivor alone.
+func TestTwoCoordinatorFailover(t *testing.T) {
+	hA, hB := &swapHandler{}, &swapHandler{}
+	tsA := httptest.NewServer(hA)
+	tsB := httptest.NewServer(hB)
+	defer tsB.Close()
+
+	mkCfg := func(self, peer string) Config {
+		return Config{
+			HeartbeatInterval: 25 * time.Millisecond,
+			LeaseDuration:     250 * time.Millisecond,
+			ClaimWait:         100 * time.Millisecond,
+			SelfID:            self,
+			Peers:             []string{peer},
+		}
+	}
+	coA := NewCoordinator(mkCfg("co-a", tsB.URL))
+	coB := NewCoordinator(mkCfg("co-b", tsA.URL))
+	defer coB.Close()
+	hA.set(coA.Handler())
+	hB.set(coB.Handler())
+	coA.reg.register(Register{ID: "w1", Addr: "http://w1", Capacity: 1})
+	coB.reg.register(Register{ID: "w2", Addr: "http://w2", Capacity: 1})
+
+	// With both peers up and a live worker each, neither is degraded.
+	waitFor(t, 10*time.Second, func() bool {
+		return !coA.Stats().Degraded && !coB.Stats().Degraded
+	}, "peered coordinators never became healthy")
+
+	// The job enters A's claim table and w1 claims it from A.
+	go coA.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	waitFor(t, 10*time.Second, func() bool {
+		_, ok := claimOnce(t, tsA.URL, "w1", 50)
+		return ok
+	}, "claim never granted by A")
+
+	// Replication carries the claimed lease to B.
+	waitFor(t, 10*time.Second, func() bool {
+		for _, v := range coB.table.Views() {
+			if v.Key == testKey && v.State == ClaimClaimed && v.Attempt == 1 {
+				return true
+			}
+		}
+		return false
+	}, "claimed lease never replicated to B")
+
+	// A dies with the lease bookkeeping; w1's report would have gone to
+	// A and is lost with it.
+	tsA.Close()
+	coA.Close()
+
+	// On the survivor, the lease expires and the claim goes back to
+	// pending; a second worker claims it from B and settles it there.
+	var g ClaimGrant
+	waitFor(t, 10*time.Second, func() bool {
+		var ok bool
+		g, ok = claimOnce(t, tsB.URL, "w2", 50)
+		return ok
+	}, "survivor never re-granted the orphaned claim")
+	if g.Key != testKey || g.Attempt < 2 {
+		t.Fatalf("survivor grant = %+v, want attempt ≥ 2", g)
+	}
+	if !reportClaim(t, tsB.URL, ClaimReport{Worker: "w2", Key: testKey, Attempt: g.Attempt, State: ClaimDone, Result: []byte("SURVIVOR-BYTES")}) {
+		t.Fatal("survivor report rejected")
+	}
+
+	b, errMsg, ok := coB.table.Result(testKey)
+	if !ok || errMsg != "" || string(b) != "SURVIVOR-BYTES" {
+		t.Fatalf("survivor result = %q %q %v", b, errMsg, ok)
+	}
+	st := coB.Stats()
+	if st.LeaseExpirations < 1 {
+		t.Fatalf("survivor stats: %+v, want at least one lease expiration", st)
+	}
+	// No claim is left stranded on the survivor.
+	for _, v := range coB.table.Views() {
+		if v.State != ClaimDone && v.State != ClaimFailed {
+			t.Fatalf("stranded claim on survivor: %+v", v)
+		}
+	}
+	// The dead peer shows up as unreachable and degrades the survivor.
+	waitFor(t, 10*time.Second, func() bool {
+		s := coB.Stats()
+		return s.Degraded && len(s.Peers) == 1 && !s.Peers[0].Reachable
+	}, "survivor never marked the dead peer unreachable")
+}
+
 func TestAgentReRegistersAfterDeadVerdict(t *testing.T) {
 	co := NewCoordinator(Config{HeartbeatInterval: 10 * time.Millisecond})
 	defer co.Close()
 	ts := httptest.NewServer(co.Handler())
 	defer ts.Close()
 
-	queued := atomic.Int64{}
 	a, err := StartAgent(AgentConfig{
 		Coordinator: ts.URL,
 		ID:          "w1",
 		Advertise:   "http://127.0.0.1:1",
 		Capacity:    3,
-		Load:        func() (int, int) { return int(queued.Load()), 0 },
+		Load:        func() (int, int) { return 0, 0 },
 		Interval:    10 * time.Millisecond,
 	})
 	if err != nil {
@@ -533,20 +658,12 @@ func TestAgentReRegistersAfterDeadVerdict(t *testing.T) {
 
 	waitFor(t, 5*time.Second, func() bool { return co.Stats().Live == 1 }, "agent never registered")
 
-	// Heartbeats carry the live load report.
-	queued.Store(2)
-	waitFor(t, 5*time.Second, func() bool {
-		vs := co.reg.views()
-		return len(vs) == 1 && vs[0].Queued == 2
-	}, "heartbeat load report never arrived")
-
 	// The coordinator declares the worker dead (as after a long GC pause
 	// or partition); the next heartbeat ack sends the agent back to
-	// register, and the fleet heals with a fresh handle.
+	// register, and the fleet heals with a fresh live handle.
 	co.reg.mu.Lock()
 	old := co.reg.workers["w1"]
 	old.state = WorkerDead
-	closeDead(old)
 	co.reg.mu.Unlock()
 	waitFor(t, 5*time.Second, func() bool {
 		co.reg.mu.Lock()

@@ -8,8 +8,9 @@ import (
 
 // Worker health states. A worker is live while heartbeats arrive on
 // time, suspect once it has missed enough of them, and dead past the
-// hard deadline — at which point its dead channel closes and every
-// in-flight dispatch on it fails over to a survivor.
+// hard deadline. Since dispatch went pull-based the registry is
+// visibility and hedging input only — nothing on the claim path reads
+// it; lease expiry alone recovers work from a dead worker.
 const (
 	WorkerLive    = "live"
 	WorkerSuspect = "suspect"
@@ -17,8 +18,7 @@ const (
 )
 
 // workerHandle is the registry's record of one worker. All fields are
-// guarded by the registry mutex; the dead channel is closed exactly once
-// (by sweep, or by a re-registration replacing the handle).
+// guarded by the registry mutex.
 type workerHandle struct {
 	id       string
 	addr     string
@@ -28,18 +28,6 @@ type workerHandle struct {
 	lastBeat time.Time
 	queued   int // last heartbeat's report
 	running  int
-	assigned int             // coordinator-known in-flight dispatches
-	inflight map[string]int  // cache key → dispatch count on this worker
-	dead     chan struct{}   // closed when the worker is declared dead
-}
-
-// load is the dispatch-ordering score: work per unit of capacity. The
-// assigned term covers dispatches the worker's own gauges have not
-// reflected yet (its heartbeat lags the hand-off), at the cost of
-// briefly double-counting once they do — a bias toward spreading load,
-// which is the bias we want.
-func (w *workerHandle) load() float64 {
-	return float64(w.queued+w.running+w.assigned) / float64(w.capacity)
 }
 
 // Registry tracks the fleet: registration, heartbeats, and the
@@ -62,31 +50,22 @@ func newRegistry(suspectAfter, deadAfter time.Duration, now func() time.Time) *R
 	}
 }
 
-// register installs (or replaces) a worker. Replacing an existing handle
-// closes its dead channel first, so dispatches still waiting on the old
-// incarnation fail over instead of polling a process that no longer
-// owns their jobs.
+// register installs (or replaces) a worker.
 func (r *Registry) register(m Register) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if old, ok := r.workers[m.ID]; ok {
-		closeDead(old)
-	}
 	r.workers[m.ID] = &workerHandle{
 		id:       m.ID,
 		addr:     m.Addr,
 		capacity: m.Capacity,
 		state:    WorkerLive,
 		lastBeat: r.now(),
-		inflight: map[string]int{},
-		dead:     make(chan struct{}),
 	}
 }
 
 // heartbeat refreshes a worker's deadline and load report. It returns
 // false for unknown or already-dead workers — the ack tells the agent
-// to re-register, which is the only way back from the dead (a fresh
-// handle with a fresh dead channel).
+// to re-register, which is the only way back from the dead.
 func (r *Registry) heartbeat(m Heartbeat) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -103,8 +82,8 @@ func (r *Registry) heartbeat(m Heartbeat) bool {
 }
 
 // sweep advances the failure detector: workers past suspectAfter turn
-// suspect, workers past deadAfter turn dead (closing their dead
-// channel). It returns the ids newly declared dead.
+// suspect, workers past deadAfter turn dead. It returns the ids newly
+// declared dead.
 func (r *Registry) sweep() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -118,7 +97,6 @@ func (r *Registry) sweep() []string {
 		switch {
 		case silent > r.deadAfter:
 			w.state = WorkerDead
-			closeDead(w)
 			died = append(died, w.id)
 		case silent > r.suspectAfter:
 			w.state = WorkerSuspect
@@ -126,56 +104,6 @@ func (r *Registry) sweep() []string {
 	}
 	sort.Strings(died)
 	return died
-}
-
-// pick returns the least-loaded dispatchable worker not in exclude, or
-// nil when none exists. Live workers are preferred; suspects are a
-// last resort (they may only be slow, and a wrong guess costs latency,
-// not correctness). Ties break on id so scheduling is deterministic.
-func (r *Registry) pick(exclude map[string]bool) *workerHandle {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var best *workerHandle
-	better := func(w, b *workerHandle) bool {
-		if b == nil {
-			return true
-		}
-		if w.state != b.state {
-			return w.state == WorkerLive
-		}
-		if w.load() != b.load() {
-			return w.load() < b.load()
-		}
-		return w.id < b.id
-	}
-	for _, w := range r.workers {
-		if w.state == WorkerDead || exclude[w.id] {
-			continue
-		}
-		if better(w, best) {
-			best = w
-		}
-	}
-	return best
-}
-
-// assign records an in-flight dispatch on a worker (for load scoring and
-// the /cluster/workers view).
-func (r *Registry) assign(w *workerHandle, key string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	w.assigned++
-	w.inflight[key]++
-}
-
-// release undoes assign once the dispatch settles.
-func (r *Registry) release(w *workerHandle, key string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	w.assigned--
-	if w.inflight[key]--; w.inflight[key] <= 0 {
-		delete(w.inflight, key)
-	}
 }
 
 // counts reports how many workers sit in each state.
@@ -197,15 +125,13 @@ func (r *Registry) counts() (live, suspect, dead int) {
 
 // WorkerView is the JSON shape of a worker in GET /cluster/workers.
 type WorkerView struct {
-	ID       string   `json:"id"`
-	Addr     string   `json:"addr"`
-	State    string   `json:"state"`
-	Capacity int      `json:"capacity"`
-	Queued   int      `json:"queued"`
-	Running  int      `json:"running"`
-	Assigned int      `json:"assigned"`
-	Inflight []string `json:"inflight"`          // cache keys dispatched here
-	BeatAge  int64    `json:"last_heartbeat_ms"` // ms since the last heartbeat
+	ID       string `json:"id"`
+	Addr     string `json:"addr"`
+	State    string `json:"state"`
+	Capacity int    `json:"capacity"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	BeatAge  int64  `json:"last_heartbeat_ms"` // ms since the last heartbeat
 }
 
 // views snapshots every worker, sorted by id.
@@ -215,11 +141,6 @@ func (r *Registry) views() []WorkerView {
 	now := r.now()
 	out := make([]WorkerView, 0, len(r.workers))
 	for _, w := range r.workers {
-		keys := make([]string, 0, len(w.inflight))
-		for k := range w.inflight {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
 		out = append(out, WorkerView{
 			ID:       w.id,
 			Addr:     w.addr,
@@ -227,21 +148,9 @@ func (r *Registry) views() []WorkerView {
 			Capacity: w.capacity,
 			Queued:   w.queued,
 			Running:  w.running,
-			Assigned: w.assigned,
-			Inflight: keys,
 			BeatAge:  now.Sub(w.lastBeat).Milliseconds(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
-}
-
-// closeDead closes a handle's dead channel if it still is open. Caller
-// holds the registry mutex.
-func closeDead(w *workerHandle) {
-	select {
-	case <-w.dead:
-	default:
-		close(w.dead)
-	}
 }

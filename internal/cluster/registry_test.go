@@ -6,7 +6,8 @@ import (
 	"time"
 )
 
-// fakeClock drives the failure detector without real waiting.
+// fakeClock drives the failure detector and the claim table's lease
+// expiry without real waiting.
 type fakeClock struct {
 	mu sync.Mutex
 	t  time.Time
@@ -31,15 +32,6 @@ func (c *fakeClock) advance(d time.Duration) {
 func testRegistry() (*Registry, *fakeClock) {
 	clk := newFakeClock()
 	return newRegistry(3*time.Second, 10*time.Second, clk.now), clk
-}
-
-func deadClosed(w *workerHandle) bool {
-	select {
-	case <-w.dead:
-		return true
-	default:
-		return false
-	}
 }
 
 func TestRegistryStateMachine(t *testing.T) {
@@ -67,15 +59,14 @@ func TestRegistryStateMachine(t *testing.T) {
 		t.Fatal("suspect did not recover to live on heartbeat")
 	}
 
-	// Silent past deadAfter: dead, dead channel closed, id reported.
+	// Silent past deadAfter: dead, id reported.
 	clk.advance(11 * time.Second)
 	died := r.sweep()
 	if len(died) != 1 || died[0] != "w1" {
 		t.Fatalf("sweep past deadAfter returned %v, want [w1]", died)
 	}
-	w := r.workers["w1"]
-	if w.state != WorkerDead || !deadClosed(w) {
-		t.Fatalf("dead worker: state=%s deadClosed=%v", w.state, deadClosed(w))
+	if w := r.workers["w1"]; w.state != WorkerDead {
+		t.Fatalf("dead worker: state=%s", w.state)
 	}
 	// Dead workers are not revived by heartbeats — they must re-register.
 	if r.heartbeat(Heartbeat{ID: "w1", Capacity: 2}) {
@@ -86,10 +77,9 @@ func TestRegistryStateMachine(t *testing.T) {
 		t.Fatalf("second sweep re-reported deaths: %v", died)
 	}
 
-	// Re-registration installs a fresh handle with an open dead channel.
+	// Re-registration installs a fresh live handle.
 	r.register(Register{ID: "w1", Addr: "http://w1", Capacity: 2})
-	w2 := r.workers["w1"]
-	if w2 == w || deadClosed(w2) || w2.state != WorkerLive {
+	if w := r.workers["w1"]; w.state != WorkerLive {
 		t.Fatal("re-register did not install a fresh live handle")
 	}
 }
@@ -101,65 +91,12 @@ func TestRegistryHeartbeatUnknownWorker(t *testing.T) {
 	}
 }
 
-func TestRegistryReRegisterClosesOldDeadChannel(t *testing.T) {
+func TestRegistryReRegisterTakesNewAddress(t *testing.T) {
 	r, _ := testRegistry()
 	r.register(Register{ID: "w1", Addr: "http://old", Capacity: 1})
-	old := r.workers["w1"]
 	r.register(Register{ID: "w1", Addr: "http://new", Capacity: 1})
-	if !deadClosed(old) {
-		t.Fatal("replacing a worker must close the old handle's dead channel")
-	}
 	if r.workers["w1"].addr != "http://new" {
 		t.Fatal("re-register did not take the new address")
-	}
-}
-
-func TestRegistryPickLeastLoaded(t *testing.T) {
-	r, clk := testRegistry()
-	r.register(Register{ID: "a", Addr: "http://a", Capacity: 2})
-	r.register(Register{ID: "b", Addr: "http://b", Capacity: 2})
-	r.register(Register{ID: "c", Addr: "http://c", Capacity: 2})
-	r.heartbeat(Heartbeat{ID: "a", Queued: 2, Running: 2, Capacity: 2}) // load 2.0
-	r.heartbeat(Heartbeat{ID: "b", Queued: 0, Running: 1, Capacity: 2}) // load 0.5
-	r.heartbeat(Heartbeat{ID: "c", Queued: 1, Running: 1, Capacity: 2}) // load 1.0
-
-	if w := r.pick(nil); w == nil || w.id != "b" {
-		t.Fatalf("pick = %v, want b (least loaded)", w)
-	}
-	if w := r.pick(map[string]bool{"b": true}); w == nil || w.id != "c" {
-		t.Fatalf("pick excluding b = %v, want c", w)
-	}
-	if w := r.pick(map[string]bool{"a": true, "b": true, "c": true}); w != nil {
-		t.Fatalf("pick with all excluded = %v, want nil", w)
-	}
-
-	// Ties break deterministically on id.
-	r.heartbeat(Heartbeat{ID: "a", Queued: 0, Running: 1, Capacity: 2}) // load 0.5, ties b
-	if w := r.pick(nil); w == nil || w.id != "a" {
-		t.Fatalf("tie-break pick = %v, want a", w)
-	}
-
-	// Assigned dispatches count toward load.
-	r.assign(r.workers["a"], "k1")
-	if w := r.pick(nil); w == nil || w.id != "b" {
-		t.Fatalf("pick after assign on a = %v, want b", w)
-	}
-	r.release(r.workers["a"], "k1")
-	if w := r.pick(nil); w == nil || w.id != "a" {
-		t.Fatalf("pick after release = %v, want a again", w)
-	}
-
-	// Live workers beat suspects even at higher load; dead never picked.
-	clk.advance(4 * time.Second)
-	r.sweep() // everyone suspect now
-	r.heartbeat(Heartbeat{ID: "a", Queued: 2, Running: 2, Capacity: 2}) // live, load 2.0
-	if w := r.pick(nil); w == nil || w.id != "a" {
-		t.Fatalf("pick = %v, want live a over less-loaded suspects", w)
-	}
-	clk.advance(11 * time.Second)
-	r.sweep() // b and c dead; a suspect
-	if w := r.pick(map[string]bool{"a": true}); w != nil {
-		t.Fatalf("picked dead worker %s", w.id)
 	}
 }
 
@@ -167,15 +104,15 @@ func TestRegistryViews(t *testing.T) {
 	r, clk := testRegistry()
 	r.register(Register{ID: "b", Addr: "http://b", Capacity: 4})
 	r.register(Register{ID: "a", Addr: "http://a", Capacity: 2})
-	r.assign(r.workers["a"], "k1")
+	r.heartbeat(Heartbeat{ID: "a", Queued: 1, Running: 1, Capacity: 2})
 	clk.advance(500 * time.Millisecond)
 
 	vs := r.views()
 	if len(vs) != 2 || vs[0].ID != "a" || vs[1].ID != "b" {
 		t.Fatalf("views not sorted by id: %+v", vs)
 	}
-	if vs[0].Assigned != 1 || len(vs[0].Inflight) != 1 || vs[0].Inflight[0] != "k1" {
-		t.Fatalf("view a missing in-flight key: %+v", vs[0])
+	if vs[0].Queued != 1 || vs[0].Running != 1 {
+		t.Fatalf("view a missing load report: %+v", vs[0])
 	}
 	if vs[0].BeatAge != 500 {
 		t.Fatalf("view a BeatAge = %d ms, want 500", vs[0].BeatAge)

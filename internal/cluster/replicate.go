@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// peerLink tracks one peer coordinator's reachability. The replication
+// loop is the only writer; Stats reads concurrently.
+type peerLink struct {
+	url string
+
+	mu        sync.Mutex
+	attempted bool
+	ok        bool
+	lastOK    time.Time
+}
+
+func (p *peerLink) status(now time.Time) server.PeerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := server.PeerStatus{URL: p.url, Reachable: p.attempted && p.ok, LagMs: -1}
+	if !p.lastOK.IsZero() {
+		s.LagMs = now.Sub(p.lastOK).Milliseconds()
+	}
+	return s
+}
+
+func (p *peerLink) observe(now time.Time, err error, logf func(string, ...any)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wasOK, wasAttempted := p.ok, p.attempted
+	p.attempted = true
+	p.ok = err == nil
+	if err == nil {
+		p.lastOK = now
+		if !wasOK {
+			logf("cluster: peer %s reachable", p.url)
+		}
+		return
+	}
+	if wasOK || !wasAttempted {
+		logf("cluster: peer %s unreachable: %v", p.url, err)
+	}
+}
+
+// replicateLoop pushes the full claim table to every peer on each
+// heartbeat tick and on every table mutation (the kick channel). Full
+// snapshots keep the protocol trivially idempotent: Merge's precedence
+// rules make reapplying old state a no-op, so there is no delta
+// bookkeeping to corrupt.
+func (co *Coordinator) replicateLoop(kick <-chan struct{}) {
+	defer co.wg.Done()
+	t := time.NewTicker(co.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.quit:
+			return
+		case <-t.C:
+		case <-kick:
+		}
+		co.replicateOnce()
+	}
+}
+
+func (co *Coordinator) replicateOnce() {
+	snap := co.table.Snapshot()
+	body, err := json.Marshal(ReplicateBatch{From: co.cfg.SelfID, Records: snap})
+	if err != nil {
+		co.cfg.Logf("cluster: marshal replication batch: %v", err)
+		return
+	}
+	for _, p := range co.peers {
+		p.observe(co.cfg.Now(), co.postReplicate(p.url, body), co.cfg.Logf)
+	}
+}
+
+func (co *Coordinator) postReplicate(url string, body []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*co.cfg.HeartbeatInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/cluster/claims/replicate", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := co.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peer answered HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

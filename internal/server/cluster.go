@@ -21,22 +21,43 @@ import (
 // locally in-process and reports degraded=true on /readyz.
 var ErrNoWorkers = errors.New("cluster: no live workers")
 
+// PeerStatus is one peer coordinator's replication health, surfaced on
+// /readyz.
+type PeerStatus struct {
+	URL       string `json:"url"`
+	Reachable bool   `json:"reachable"`
+	// LagMs is the age of the last successful replication to this peer
+	// in milliseconds, or -1 before the first success.
+	LagMs int64 `json:"replication_lag_ms"`
+}
+
 // ClusterStats is a point-in-time snapshot of the fleet, surfaced in
 // /metrics and on /readyz.
 type ClusterStats struct {
+	// Role identifies this node's part in the fleet ("coordinator").
+	Role string
 	// Worker counts by health state.
 	Live    int
 	Suspect int
 	Dead    int
-	// Failovers counts in-flight dispatches re-run on a survivor after
-	// their worker was lost.
-	Failovers uint64
-	// HedgesStarted / HedgesWon count second copies launched for
-	// straggling dispatches, and how many of those finished first.
+	// Peers lists the other coordinators and their replication lag.
+	Peers []PeerStatus
+	// Claim lifecycle counters: leases granted (first claims, expiry
+	// reclaims, and hedges), claims settled done/failed, duplicate
+	// terminal reports discarded, hedge grants against a live lease,
+	// and leases that expired back to pending.
+	ClaimsGranted    uint64
+	ClaimsCompleted  uint64
+	ClaimsFailed     uint64
+	ClaimsDuplicate  uint64
+	ClaimContention  uint64
+	LeaseExpirations uint64
+	// HedgesStarted / HedgesWon count claims opened to a second worker
+	// for straggling, and how many settles came from the hedge's lease.
 	HedgesStarted uint64
 	HedgesWon     uint64
-	// Degraded is true while no worker (live or suspect) can take jobs;
-	// the coordinator is executing everything locally.
+	// Degraded is true while no worker (live or suspect) can take jobs
+	// or a peer coordinator is unreachable.
 	Degraded bool
 }
 
@@ -63,6 +84,28 @@ func (s *Server) executeOrDispatch(ctx context.Context, c *compiledSpec, j *Job)
 		return s.executeGuarded(ctx, c, j)
 	}
 	return result, err
+}
+
+// Await blocks until the identified job reaches a terminal state and
+// returns its result bytes (or its failure as an error). It is the seam
+// a worker's claim loop uses after SubmitJSON: submit the granted spec,
+// await the outcome, report it back to the coordinator.
+func (s *Server) Await(ctx context.Context, id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("no such job %q", id)
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-j.done:
+	}
+	if b, ok := j.resultBytes(); ok {
+		return b, nil
+	}
+	return nil, errors.New(j.snapshot().Error)
 }
 
 // clusterStats snapshots the backend for /metrics (nil when the server

@@ -28,7 +28,21 @@ func (f *fakeCluster) Dispatch(ctx context.Context, key, label string, spec JobS
 }
 
 func (f *fakeCluster) Stats() ClusterStats {
-	return ClusterStats{Live: 2, Suspect: 1, Failovers: 7, HedgesStarted: 3, HedgesWon: 2, Degraded: f.degraded}
+	return ClusterStats{
+		Role:             "coordinator",
+		Live:             2,
+		Suspect:          1,
+		Peers:            []PeerStatus{{URL: "http://peer-b", Reachable: true, LagMs: 12}},
+		ClaimsGranted:    9,
+		ClaimsCompleted:  5,
+		ClaimsFailed:     1,
+		ClaimsDuplicate:  2,
+		ClaimContention:  1,
+		LeaseExpirations: 4,
+		HedgesStarted:    3,
+		HedgesWon:        2,
+		Degraded:         f.degraded,
+	}
 }
 
 func TestClusterDispatchSeam(t *testing.T) {
@@ -51,18 +65,34 @@ func TestClusterDispatchSeam(t *testing.T) {
 		t.Fatalf("backend dispatched %d times, want 1", fc.calls.Load())
 	}
 
-	// Coordinator metrics expose the fleet.
+	// Coordinator metrics expose the fleet and the claim table.
 	body, _ := getBody(t, ts.URL+"/metrics")
 	for _, line := range []string{
 		`slipd_workers{state="live"} 2`,
 		`slipd_workers{state="suspect"} 1`,
 		`slipd_workers{state="dead"} 0`,
-		`slipd_failovers_total 7`,
+		`slipd_claims_total{outcome="granted"} 9`,
+		`slipd_claims_total{outcome="done"} 5`,
+		`slipd_claims_total{outcome="failed"} 1`,
+		`slipd_claims_total{outcome="duplicate"} 2`,
+		`slipd_claim_contention_total 1`,
+		`slipd_lease_expirations_total 4`,
 		`slipd_hedges_started_total 3`,
 		`slipd_hedges_won_total 2`,
 	} {
 		if !strings.Contains(body, line) {
 			t.Errorf("metrics missing %q", line)
+		}
+	}
+
+	// /readyz reports the coordinator role and peer replication health.
+	ready, status := getBody(t, ts.URL+"/readyz")
+	if status != http.StatusOK {
+		t.Fatalf("readyz = %d", status)
+	}
+	for _, want := range []string{`"role":"coordinator"`, `"url":"http://peer-b"`, `"reachable":true`, `"replication_lag_ms":12`} {
+		if !strings.Contains(ready, want) {
+			t.Errorf("readyz missing %s: %s", want, ready)
 		}
 	}
 }
@@ -102,7 +132,7 @@ func TestClusterNoWorkersFallsBackLocally(t *testing.T) {
 func TestMetricsOmitClusterBlockWithoutBackend(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	body, _ := getBody(t, ts.URL+"/metrics")
-	if strings.Contains(body, "slipd_workers") || strings.Contains(body, "slipd_failovers_total") {
+	if strings.Contains(body, "slipd_workers") || strings.Contains(body, "slipd_claims_total") {
 		t.Fatalf("non-coordinator metrics leak cluster gauges:\n%s", body)
 	}
 	ready, _ := getBody(t, ts.URL+"/readyz")

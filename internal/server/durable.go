@@ -264,6 +264,20 @@ func (s *Server) cachePut(key string, val []byte) {
 	s.cache.Put(key, val)
 }
 
+// StoreResult lands externally produced result bytes in the tiered
+// cache (disk store first, then the LRU). It implements the cluster
+// package's ResultSink: a coordinator that learns a claim's outcome —
+// from a worker's report or from peer replication — stores the bytes
+// here so it can serve GET /results/{key} itself. Safe for any caller
+// because keys are content-addressed: equal key, equal bytes.
+func (s *Server) StoreResult(key string, result []byte) error {
+	if !store.ValidKey(key) {
+		return fmt.Errorf("invalid result key %q", key)
+	}
+	s.cachePut(key, result)
+	return nil
+}
+
 // closePersistence compacts and closes the journal on shutdown. After a
 // clean drain every job is terminal, so the compacted journal replays
 // with zero requeues.
@@ -308,9 +322,14 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := map[string]any{"status": "ready"}
 	// A coordinator is still ready with zero workers — it executes jobs
-	// locally — but the degraded flag tells operators the fleet is gone.
+	// locally — but the degraded flag tells operators the fleet is gone
+	// (or a peer coordinator has stopped taking replication).
 	if cs := s.clusterStats(); cs != nil {
 		resp["degraded"] = cs.Degraded
+		resp["role"] = cs.Role
+		if cs.Peers != nil {
+			resp["peers"] = cs.Peers
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -268,11 +268,22 @@ func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durab
 		fmt.Fprintf(w, "slipd_workers{state=\"suspect\"} %d\n", cluster.Suspect)
 		fmt.Fprintf(w, "slipd_workers{state=\"dead\"} %d\n", cluster.Dead)
 
-		fmt.Fprintln(w, "# HELP slipd_failovers_total In-flight dispatches re-run on a survivor after their worker was lost.")
-		fmt.Fprintln(w, "# TYPE slipd_failovers_total counter")
-		fmt.Fprintf(w, "slipd_failovers_total %d\n", cluster.Failovers)
+		fmt.Fprintln(w, "# HELP slipd_claims_total Claim-table outcomes: leases granted, claims settled done/failed, duplicate terminal reports discarded.")
+		fmt.Fprintln(w, "# TYPE slipd_claims_total counter")
+		fmt.Fprintf(w, "slipd_claims_total{outcome=\"granted\"} %d\n", cluster.ClaimsGranted)
+		fmt.Fprintf(w, "slipd_claims_total{outcome=\"done\"} %d\n", cluster.ClaimsCompleted)
+		fmt.Fprintf(w, "slipd_claims_total{outcome=\"failed\"} %d\n", cluster.ClaimsFailed)
+		fmt.Fprintf(w, "slipd_claims_total{outcome=\"duplicate\"} %d\n", cluster.ClaimsDuplicate)
 
-		fmt.Fprintln(w, "# HELP slipd_hedges_started_total Second copies launched for dispatches running past the per-kernel latency threshold.")
+		fmt.Fprintln(w, "# HELP slipd_claim_contention_total Hedge grants: a second worker claimed a job whose lease was still live.")
+		fmt.Fprintln(w, "# TYPE slipd_claim_contention_total counter")
+		fmt.Fprintf(w, "slipd_claim_contention_total %d\n", cluster.ClaimContention)
+
+		fmt.Fprintln(w, "# HELP slipd_lease_expirations_total Claim leases that expired and went back to pending for reclaim.")
+		fmt.Fprintln(w, "# TYPE slipd_lease_expirations_total counter")
+		fmt.Fprintf(w, "slipd_lease_expirations_total %d\n", cluster.LeaseExpirations)
+
+		fmt.Fprintln(w, "# HELP slipd_hedges_started_total Claims opened to a second worker for running past the per-kernel latency threshold.")
 		fmt.Fprintln(w, "# TYPE slipd_hedges_started_total counter")
 		fmt.Fprintf(w, "slipd_hedges_started_total %d\n", cluster.HedgesStarted)
 

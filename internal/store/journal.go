@@ -21,19 +21,34 @@ import (
 // Record is one journal entry: a job entering a state. The first record
 // for a job carries its spec; later transitions only need the id. Replay
 // folds all records for a job into one (latest state, spec preserved).
+//
+// The claim fields serve the fleet's claim journal, where the same frame
+// format records lease state: which worker holds the claim, when its
+// lease expires (unix milliseconds), and the monotonic claim attempt.
+// Claim transitions always write the full current lease state, so on
+// fold the latest record's claim fields win verbatim — except the
+// attempt counter, which never goes backwards.
 type Record struct {
 	Job      string          `json:"job"`
 	Key      string          `json:"key,omitempty"`
+	Label    string          `json:"label,omitempty"`
 	State    string          `json:"state"`
 	Error    string          `json:"error,omitempty"`
 	Attempts int             `json:"attempts,omitempty"`
 	Cached   bool            `json:"cached,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"`
+
+	ClaimedBy      string `json:"claimed_by,omitempty"`
+	ClaimExpiresAt int64  `json:"claim_expires_at,omitempty"` // unix ms
+	ClaimAttempt   int    `json:"claim_attempt,omitempty"`
 }
 
 // merge folds a later record over an earlier one for the same job: the
-// newest state/error/attempts win, while the spec and key stick from
-// whichever record carried them (transition records omit the spec).
+// newest state/error/attempts win, while the spec, key, and label stick
+// from whichever record carried them (transition records omit the spec).
+// ClaimedBy and ClaimExpiresAt are taken from the newest record verbatim
+// (a re-pended claim legitimately clears them); ClaimAttempt only ever
+// grows.
 func merge(old, next Record) Record {
 	if next.Spec == nil {
 		next.Spec = old.Spec
@@ -41,8 +56,14 @@ func merge(old, next Record) Record {
 	if next.Key == "" {
 		next.Key = old.Key
 	}
+	if next.Label == "" {
+		next.Label = old.Label
+	}
 	if next.Attempts < old.Attempts {
 		next.Attempts = old.Attempts
+	}
+	if next.ClaimAttempt < old.ClaimAttempt {
+		next.ClaimAttempt = old.ClaimAttempt
 	}
 	return next
 }
@@ -67,6 +88,9 @@ type Journal struct {
 
 	folded map[string]Record
 	order  []string // job ids in first-seen order
+
+	logf          func(format string, args ...any)
+	dirSyncLogged bool // directory-fsync failures are logged once, not per compaction
 }
 
 // Open opens (or creates) the journal in dir, replays every segment, and
@@ -82,7 +106,7 @@ func Open(dir string, maxSegmentBytes int64) (*Journal, []Record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	j := &Journal{dir: dir, maxSeg: maxSegmentBytes, folded: map[string]Record{}}
+	j := &Journal{dir: dir, maxSeg: maxSegmentBytes, folded: map[string]Record{}, logf: func(string, ...any) {}}
 
 	segs, err := j.segments()
 	if err != nil {
@@ -247,7 +271,16 @@ func (j *Journal) compactLocked() error {
 		os.Remove(tmp)
 		return err
 	}
-	syncDir(j.dir)
+	// A failed directory fsync leaves the rename at the filesystem's
+	// mercy across power loss. The compaction itself is fine — the data
+	// is in the new segment and the in-memory state must reflect that —
+	// so finish the swap and surface the error to the caller, where it
+	// lands in slipd_journal_errors_total.
+	dirErr := syncDir(j.dir)
+	if dirErr != nil && !j.dirSyncLogged {
+		j.dirSyncLogged = true
+		j.logf("journal: directory fsync failed (compacted segments may not survive power loss): %v", dirErr)
+	}
 
 	old := j.f
 	oldSeq := j.segSeq
@@ -269,7 +302,16 @@ func (j *Journal) compactLocked() error {
 	j.segSeq = next
 	j.segBytes = written
 	j.total = written
-	return nil
+	return dirErr
+}
+
+// SetLogf installs the journal's operational logger (default: discard).
+func (j *Journal) SetLogf(logf func(format string, args ...any)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if logf != nil {
+		j.logf = logf
+	}
 }
 
 // Size reports the journal's on-disk byte count (all live segments).
@@ -389,10 +431,17 @@ func indexByteFrom(b []byte, from int, c byte) int {
 }
 
 // syncDir fsyncs a directory so a just-renamed file survives power loss.
-// Best-effort: some filesystems reject directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// The error is returned, not swallowed: some filesystems reject directory
+// fsync, and the caller decides whether that degrades durability loudly
+// (counted in slipd_journal_errors_total) or is tolerable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }

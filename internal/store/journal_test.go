@@ -204,3 +204,48 @@ func TestMergeKeepsSpecAndMaxAttempts(t *testing.T) {
 		t.Fatalf("merge = %+v", got)
 	}
 }
+
+func TestMergeClaimFields(t *testing.T) {
+	// Claim transitions write the full lease state each time: the newest
+	// record's holder and expiry win verbatim — a re-pended claim
+	// legitimately clears them — while the attempt counter never goes
+	// backwards.
+	got := merge(
+		Record{Job: "claim-1", Key: "k", Label: "run/CG", State: "claimed", ClaimedBy: "w1", ClaimExpiresAt: 1700, ClaimAttempt: 2},
+		Record{Job: "claim-1", State: "pending"},
+	)
+	if got.ClaimedBy != "" || got.ClaimExpiresAt != 0 {
+		t.Fatalf("re-pend did not clear the lease: %+v", got)
+	}
+	if got.ClaimAttempt != 2 || got.Label != "run/CG" || got.Key != "k" {
+		t.Fatalf("merge dropped sticky claim fields: %+v", got)
+	}
+}
+
+func TestJournalClaimLifecycleFolds(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, 0)
+	spec := json.RawMessage(`{"kind":"run"}`)
+	// One claim's full life: pending → claimed → lease expired (back to
+	// pending) → reclaimed at a higher attempt → done.
+	mustAppend(t, j, Record{Job: "claim-1", Key: "k1", Label: "run/CG", State: "pending", Spec: spec}, false)
+	mustAppend(t, j, Record{Job: "claim-1", Key: "k1", State: "claimed", ClaimedBy: "w1", ClaimExpiresAt: 1700, ClaimAttempt: 1}, false)
+	mustAppend(t, j, Record{Job: "claim-1", Key: "k1", State: "pending", ClaimAttempt: 1}, false)
+	mustAppend(t, j, Record{Job: "claim-1", Key: "k1", State: "claimed", ClaimedBy: "w2", ClaimExpiresAt: 3400, ClaimAttempt: 2}, false)
+	mustAppend(t, j, Record{Job: "claim-1", Key: "k1", State: "done", ClaimAttempt: 2}, true)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, recs := openT(t, dir, 0)
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d folded records, want 1: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.State != "done" || r.ClaimAttempt != 2 || r.ClaimedBy != "" || r.ClaimExpiresAt != 0 {
+		t.Fatalf("claim lifecycle folded wrong: %+v", r)
+	}
+	if r.Label != "run/CG" || string(r.Spec) != string(spec) {
+		t.Fatalf("fold dropped label or spec: %+v", r)
+	}
+}

@@ -79,8 +79,7 @@ func (s *ResultStore) Put(key string, val []byte) error {
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		return err
 	}
-	syncDir(filepath.Dir(p))
-	return nil
+	return syncDir(filepath.Dir(p))
 }
 
 // Get loads the bytes for key. The bool reports presence; an error means

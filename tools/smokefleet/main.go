@@ -1,12 +1,20 @@
-// Command smokefleet is the end-to-end fleet drill behind
-// `make smoke-fleet`. Phase one is the failover drill: a coordinator
-// plus two workers, all real processes; a slow job is dispatched, the
-// worker running it is SIGKILLed mid-execution, and the job must settle
-// on the survivor with bytes identical to an uninterrupted reference
-// run, with slipd_failovers_total ≥ 1 on the coordinator. Phase two is
-// the degradation drill: a coordinator with zero workers must execute
-// jobs locally, report "degraded":true on /readyz, and count the local
-// fallback in its metrics.
+// Command smokefleet drives the end-to-end fleet drills.
+//
+// `smokefleet <bin>` (or `smokefleet <bin> fleet`, `make smoke-fleet`)
+// runs the worker drills: a clean run through the claim path must settle
+// with zero lease expirations; then a worker is SIGKILLed while holding
+// a claim and the job must settle on the survivor — via lease expiry,
+// slipd_lease_expirations_total ≥ 1 — with bytes identical to an
+// uninterrupted reference run; finally a coordinator with zero workers
+// must execute locally in degraded mode.
+//
+// `smokefleet <bin> ha` (`make smoke-ha`) runs the coordinator-kill
+// drill: two peered coordinators replicating the claim table, two
+// workers claiming from both. The coordinator that granted the in-flight
+// job's lease is SIGKILLed; the worker's terminal report dies with it,
+// so the drill passes only if the survivor's replicated copy of the
+// lease expires, a worker reclaims the job through the survivor, and the
+// survivor serves byte-identical bytes with zero claims left stranded.
 package main
 
 import (
@@ -23,7 +31,7 @@ import (
 )
 
 // fastSpec finishes in seconds; slowSpec runs long enough that a SIGKILL
-// reliably lands while a worker is still executing it.
+// reliably lands while the claim is still leased and executing.
 const (
 	fastSpec = `{"kind":"scaling","kernel":"CG","node_counts":[2,4],"scale":"test"}`
 	slowSpec = `{"kind":"static","kernels":["CG"],"nodes":8,"scale":"small"}`
@@ -34,27 +42,49 @@ func main() {
 	if len(os.Args) > 1 {
 		bin = os.Args[1]
 	}
-	if err := failoverDrill(bin); err != nil {
-		fmt.Fprintln(os.Stderr, "smoke-fleet: FAILED:", err)
-		os.Exit(1)
+	drill := "fleet"
+	if len(os.Args) > 2 {
+		drill = os.Args[2]
 	}
-	if err := degradedDrill(bin); err != nil {
-		fmt.Fprintln(os.Stderr, "smoke-fleet: FAILED:", err)
-		os.Exit(1)
+	switch drill {
+	case "fleet":
+		if err := workerKillDrill(bin); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke-fleet: FAILED:", err)
+			os.Exit(1)
+		}
+		if err := degradedDrill(bin); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke-fleet: FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke-fleet: PASSED")
+	case "ha":
+		if err := coordinatorKillDrill(bin); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke-ha: FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke-ha: PASSED")
+	default:
+		fmt.Fprintf(os.Stderr, "smokefleet: unknown drill %q (want fleet or ha)\n", drill)
+		os.Exit(2)
 	}
-	fmt.Println("smoke-fleet: PASSED")
 }
 
-// failoverDrill: coordinator + 2 workers, SIGKILL the worker running the
-// job, assert the survivor finishes it byte-identically.
-func failoverDrill(bin string) error {
-	ref, err := referenceRun(bin, slowSpec)
+// workerKillDrill: coordinator + 2 workers on the pull path. A clean job
+// first (zero reclaims), then SIGKILL the worker holding a claim and
+// require the survivor to finish it byte-identically via lease expiry.
+func workerKillDrill(bin string) error {
+	refFast, err := referenceRun(bin, fastSpec)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+	refSlow, err := referenceRun(bin, slowSpec)
 	if err != nil {
 		return fmt.Errorf("reference run: %w", err)
 	}
 
 	coord, coordBase, err := startSlipd(bin, "-no-persist", "-coordinator",
-		"-heartbeat-interval", "300ms", "-suspect-after", "1s", "-dead-after", "2s")
+		"-heartbeat-interval", "300ms", "-suspect-after", "1s", "-dead-after", "2s",
+		"-claim-lease", "2s")
 	if err != nil {
 		return err
 	}
@@ -70,7 +100,7 @@ func failoverDrill(bin string) error {
 	workers := map[string]workerProc{}
 	for _, id := range []string{"w1", "w2"} {
 		cmd, base, err := startSlipd(bin, "-no-persist", "-worker",
-			"-join", coordBase, "-worker-id", id)
+			"-join", coordBase, "-worker-id", id, "-claim-poll", "500ms")
 		if err != nil {
 			return err
 		}
@@ -84,21 +114,47 @@ func failoverDrill(bin string) error {
 	}
 	fmt.Fprintln(os.Stderr, "smoke-fleet: 2 workers live")
 
+	// Phase 1 — clean run: a job claimed, executed, and reported without
+	// any failure must never touch the lease-recovery machinery.
+	id, _, _, err := submit(coordBase, fastSpec)
+	if err != nil {
+		return err
+	}
+	if err := waitDone(coordBase, id, 2*time.Minute); err != nil {
+		return fmt.Errorf("clean claim run: %w", err)
+	}
+	got, code, err := get(coordBase + "/jobs/" + id + "/result")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || got != refFast {
+		return fmt.Errorf("clean run result: HTTP %d, bytes match=%v", code, got == refFast)
+	}
+	metrics, _, err := get(coordBase + "/metrics")
+	if err != nil {
+		return err
+	}
+	if n, err := metricValue(metrics, `slipd_claims_total{outcome="done"}`); err != nil || n < 1 {
+		return fmt.Errorf("clean run settled no claims (done=%d, err=%v):\n%s", n, err, metrics)
+	}
+	if n, err := metricValue(metrics, "slipd_lease_expirations_total"); err != nil || n != 0 {
+		return fmt.Errorf("clean run expired %d leases, want 0 (err=%v):\n%s", n, err, metrics)
+	}
+	fmt.Fprintln(os.Stderr, "smoke-fleet: clean claim run settled with zero lease expirations")
+
+	// Phase 2 — worker kill: find which worker holds the slow job's
+	// lease, wait until it is actually executing, SIGKILL it.
 	id, key, _, err := submit(coordBase, slowSpec)
 	if err != nil {
 		return err
 	}
-
-	// Find which worker the job landed on and wait until it is actually
-	// executing there — a SIGKILL before execution would only test
-	// dispatch retry, not mid-job failover.
-	victim, err := findAssignedWorker(coordBase, key, 30*time.Second)
+	victim, err := findClaimHolder(coordBase, key, 30*time.Second)
 	if err != nil {
 		return err
 	}
 	vp, ok := workers[victim]
 	if !ok {
-		return fmt.Errorf("job assigned to unknown worker %q", victim)
+		return fmt.Errorf("claim held by unknown worker %q", victim)
 	}
 	if err := waitWorkerRunning(vp.base, 30*time.Second); err != nil {
 		return err
@@ -107,40 +163,40 @@ func failoverDrill(bin string) error {
 		return err
 	}
 	vp.cmd.Wait()
-	fmt.Fprintf(os.Stderr, "smoke-fleet: SIGKILLed worker %s while running %s\n", victim, id)
+	fmt.Fprintf(os.Stderr, "smoke-fleet: SIGKILLed worker %s while it held the claim for %s\n", victim, id)
 
-	// The coordinator must fail the job over to the survivor and the
-	// bytes must match the uninterrupted reference exactly.
+	// The lease must expire and the survivor must finish the job with
+	// bytes identical to the uninterrupted reference.
 	if err := waitDone(coordBase, id, 3*time.Minute); err != nil {
 		return fmt.Errorf("job after worker kill: %w", err)
 	}
-	got, code, err := get(coordBase + "/jobs/" + id + "/result")
+	got, code, err = get(coordBase + "/jobs/" + id + "/result")
 	if err != nil {
 		return err
 	}
 	if code != http.StatusOK {
 		return fmt.Errorf("GET result = %d", code)
 	}
-	if got != ref {
-		return fmt.Errorf("failover result differs from uninterrupted run:\n--- failover ---\n%s--- reference ---\n%s", got, ref)
+	if got != refSlow {
+		return fmt.Errorf("post-kill result differs from uninterrupted run:\n--- survivor ---\n%s--- reference ---\n%s", got, refSlow)
 	}
-	fmt.Fprintln(os.Stderr, "smoke-fleet: failover produced byte-identical output")
+	fmt.Fprintln(os.Stderr, "smoke-fleet: lease recovery produced byte-identical output")
 
-	metrics, _, err := get(coordBase + "/metrics")
+	metrics, _, err = get(coordBase + "/metrics")
 	if err != nil {
 		return err
 	}
-	fail, err := metricValue(metrics, "slipd_failovers_total")
+	exp, err := metricValue(metrics, "slipd_lease_expirations_total")
 	if err != nil {
 		return err
 	}
-	if fail < 1 {
-		return fmt.Errorf("slipd_failovers_total = %d, want >= 1:\n%s", fail, metrics)
+	if exp < 1 {
+		return fmt.Errorf("slipd_lease_expirations_total = %d, want >= 1:\n%s", exp, metrics)
 	}
 	if !strings.Contains(metrics, `slipd_workers{state="live"} 1`) {
 		return fmt.Errorf("metrics missing surviving worker gauge:\n%s", metrics)
 	}
-	fmt.Fprintf(os.Stderr, "smoke-fleet: coordinator counted %d failover(s)\n", fail)
+	fmt.Fprintf(os.Stderr, "smoke-fleet: coordinator counted %d expired lease(s)\n", exp)
 
 	// Survivor and coordinator both drain cleanly.
 	for wid, wp := range workers {
@@ -152,6 +208,132 @@ func failoverDrill(bin string) error {
 		}
 	}
 	return stopGracefully(coord)
+}
+
+// coordinatorKillDrill: two peered coordinators, two workers claiming
+// from both. SIGKILL the coordinator that granted the in-flight lease;
+// the survivor's replicated copy must expire, be reclaimed, and settle
+// byte-identically with nothing stranded.
+func coordinatorKillDrill(bin string) error {
+	ref, err := referenceRun(bin, slowSpec)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+
+	addrA, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	addrB, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	baseA, baseB := "http://"+addrA, "http://"+addrB
+
+	coordFlags := []string{"-no-persist", "-coordinator",
+		"-heartbeat-interval", "300ms", "-suspect-after", "1s", "-dead-after", "2s",
+		"-claim-lease", "2s"}
+	coA, err := startSlipdAt(bin, addrA, append(coordFlags, "-join-coordinator", baseB)...)
+	if err != nil {
+		return err
+	}
+	defer coA.Process.Kill()
+	coB, err := startSlipdAt(bin, addrB, append(coordFlags, "-join-coordinator", baseA)...)
+	if err != nil {
+		return err
+	}
+	defer coB.Process.Kill()
+	for _, base := range []string{baseA, baseB} {
+		if err := waitReady(base, 10*time.Second); err != nil {
+			return err
+		}
+	}
+
+	for _, id := range []string{"w1", "w2"} {
+		cmd, _, err := startSlipd(bin, "-no-persist", "-worker",
+			"-join", baseA+","+baseB, "-worker-id", id, "-claim-poll", "500ms")
+		if err != nil {
+			return err
+		}
+		defer cmd.Process.Kill()
+	}
+	for _, base := range []string{baseA, baseB} {
+		if err := waitWorkers(base, 2, 15*time.Second); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, "smoke-ha: 2 coordinators peered, 2 workers enrolled with both")
+
+	_, key, _, err := submit(baseA, slowSpec)
+	if err != nil {
+		return err
+	}
+
+	// Identify the coordinator that granted the lease: grant counters are
+	// local-only, so exactly one side shows the grant.
+	granter, survivor, err := findGranter(baseA, baseB, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	granterCmd, survivorBase := coA, baseB
+	if granter == baseB {
+		granterCmd, survivorBase = coB, baseA
+	}
+
+	// The claimed lease must be replicated to the survivor before the
+	// kill — that replica is what the whole drill recovers from.
+	if err := waitClaimState(survivor, key, "claimed", 30*time.Second); err != nil {
+		return fmt.Errorf("lease never replicated to survivor: %w", err)
+	}
+	if err := granterCmd.Process.Kill(); err != nil {
+		return err
+	}
+	granterCmd.Wait()
+	fmt.Fprintf(os.Stderr, "smoke-ha: SIGKILLed granting coordinator %s; worker reports to it are now lost\n", granter)
+
+	// On the survivor alone: lease expiry, reclaim, settle.
+	if err := waitClaimState(survivorBase, key, "done", 3*time.Minute); err != nil {
+		return fmt.Errorf("claim never settled on survivor: %w", err)
+	}
+	got, code, err := get(survivorBase + "/results/" + key)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("survivor GET /results/%s = %d", key, code)
+	}
+	if got != ref {
+		return fmt.Errorf("survivor result differs from uninterrupted run:\n--- survivor ---\n%s--- reference ---\n%s", got, ref)
+	}
+	fmt.Fprintln(os.Stderr, "smoke-ha: survivor served byte-identical result bytes")
+
+	metrics, _, err := get(survivorBase + "/metrics")
+	if err != nil {
+		return err
+	}
+	exp, err := metricValue(metrics, "slipd_lease_expirations_total")
+	if err != nil {
+		return err
+	}
+	if exp < 1 {
+		return fmt.Errorf("survivor slipd_lease_expirations_total = %d, want >= 1:\n%s", exp, metrics)
+	}
+	if n, err := metricValue(metrics, `slipd_claims_total{outcome="done"}`); err != nil || n < 1 {
+		return fmt.Errorf("survivor settled no claims (done=%d, err=%v):\n%s", n, err, metrics)
+	}
+
+	// Zero stranded jobs: every claim the survivor knows is terminal.
+	claims, err := clusterClaims(survivorBase)
+	if err != nil {
+		return err
+	}
+	for _, c := range claims {
+		if c.State != "done" && c.State != "failed" {
+			return fmt.Errorf("stranded claim on survivor: %+v", c)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "smoke-ha: survivor expired %d lease(s), zero claims stranded\n", exp)
+	return nil
 }
 
 // degradedDrill: a coordinator with zero workers still answers, locally.
@@ -212,9 +394,8 @@ func degradedDrill(bin string) error {
 // clusterView mirrors GET /cluster/workers.
 type clusterView struct {
 	Workers []struct {
-		ID       string   `json:"id"`
-		State    string   `json:"state"`
-		Inflight []string `json:"inflight"`
+		ID    string `json:"id"`
+		State string `json:"state"`
 	} `json:"workers"`
 	Degraded bool `json:"degraded"`
 }
@@ -232,6 +413,31 @@ func clusterWorkers(base string) (clusterView, error) {
 		return clusterView{}, err
 	}
 	return cv, nil
+}
+
+// claimView mirrors one entry of GET /cluster/claims.
+type claimView struct {
+	Key       string `json:"key"`
+	State     string `json:"state"`
+	ClaimedBy string `json:"claimed_by"`
+	Attempt   int    `json:"claim_attempt"`
+}
+
+func clusterClaims(base string) ([]claimView, error) {
+	body, code, err := get(base + "/cluster/claims")
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("GET /cluster/claims = %d: %s", code, body)
+	}
+	var cv struct {
+		Claims []claimView `json:"claims"`
+	}
+	if err := json.Unmarshal([]byte(body), &cv); err != nil {
+		return nil, err
+	}
+	return cv.Claims, nil
 }
 
 // waitWorkers polls the fleet view until n workers are live.
@@ -255,24 +461,75 @@ func waitWorkers(base string, n int, timeout time.Duration) error {
 	return fmt.Errorf("fewer than %d live workers within %s", n, timeout)
 }
 
-// findAssignedWorker polls the fleet view until some worker holds the
-// job's cache key in flight.
-func findAssignedWorker(base, key string, timeout time.Duration) (string, error) {
+// findClaimHolder polls the claim table until the job's key is leased to
+// some worker, and returns that worker's id.
+func findClaimHolder(base, key string, timeout time.Duration) (string, error) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		cv, err := clusterWorkers(base)
+		claims, err := clusterClaims(base)
 		if err == nil {
-			for _, w := range cv.Workers {
-				for _, k := range w.Inflight {
-					if k == key {
-						return w.ID, nil
-					}
+			for _, c := range claims {
+				if c.Key == key && c.State == "claimed" && c.ClaimedBy != "" {
+					return c.ClaimedBy, nil
 				}
 			}
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	return "", fmt.Errorf("job %s never assigned to a worker within %s", key, timeout)
+	return "", fmt.Errorf("claim for %s never leased to a worker within %s", key, timeout)
+}
+
+// waitClaimState polls one coordinator's claim table until the key
+// reaches the wanted state.
+func waitClaimState(base, key, state string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		claims, err := clusterClaims(base)
+		if err == nil {
+			for _, c := range claims {
+				if c.Key == key && c.State == state {
+					return nil
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("claim %s never reached %q on %s within %s", key, state, base, timeout)
+}
+
+// findGranter polls two peered coordinators' metrics until exactly one
+// of them has granted a lease (grant counters are local, never
+// replicated) and returns (granter, survivor). Both granting is the
+// rare double-claim race — legal for the fleet, but it would make this
+// drill's lease-expiry assertion meaningless, so fail loudly instead.
+func findGranter(a, b string, timeout time.Duration) (string, string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ga := grantedCount(a)
+		gb := grantedCount(b)
+		switch {
+		case ga > 0 && gb == 0:
+			return a, b, nil
+		case gb > 0 && ga == 0:
+			return b, a, nil
+		case ga > 0 && gb > 0:
+			return "", "", fmt.Errorf("both coordinators granted the lease (a=%d b=%d); double-claim race, rerun the drill", ga, gb)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return "", "", fmt.Errorf("no coordinator granted the lease within %s", timeout)
+}
+
+func grantedCount(base string) int {
+	metrics, code, err := get(base + "/metrics")
+	if err != nil || code != http.StatusOK {
+		return 0
+	}
+	n, err := metricValue(metrics, `slipd_claims_total{outcome="granted"}`)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // waitWorkerRunning polls a worker's own job list until something is
@@ -300,12 +557,13 @@ func waitWorkerRunning(base string, timeout time.Duration) error {
 	return fmt.Errorf("worker %s never started executing within %s", base, timeout)
 }
 
-// metricValue extracts an integer counter from a /metrics body.
+// metricValue extracts an integer counter from a /metrics body. The name
+// may include a label set, e.g. `slipd_claims_total{outcome="done"}`.
 func metricValue(metrics, name string) (int, error) {
 	for _, line := range strings.Split(metrics, "\n") {
 		if strings.HasPrefix(line, name+" ") {
 			var v int
-			if _, err := fmt.Sscanf(line, name+" %d", &v); err != nil {
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, name+" "), "%d", &v); err != nil {
 				return 0, fmt.Errorf("parse %q: %w", line, err)
 			}
 			return v, nil
@@ -342,24 +600,42 @@ func referenceRun(bin, spec string) (string, error) {
 	return result, stopGracefully(cmd)
 }
 
-// startSlipd launches the daemon on a free port and returns the running
-// process plus its base URL.
-func startSlipd(bin string, extra ...string) (*exec.Cmd, string, error) {
+// freeAddr reserves a loopback address for a daemon that must know its
+// peers' addresses before any of them start.
+func freeAddr() (string, error) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, "", err
+		return "", err
 	}
 	addr := l.Addr().String()
 	l.Close()
+	return addr, nil
+}
 
+// startSlipd launches the daemon on a free port and returns the running
+// process plus its base URL.
+func startSlipd(bin string, extra ...string) (*exec.Cmd, string, error) {
+	addr, err := freeAddr()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd, err := startSlipdAt(bin, addr, extra...)
+	if err != nil {
+		return nil, "", err
+	}
+	return cmd, "http://" + addr, nil
+}
+
+// startSlipdAt launches the daemon on a specific address.
+func startSlipdAt(bin, addr string, extra ...string) (*exec.Cmd, error) {
 	args := append([]string{"-addr", addr, "-workers", "1", "-drain", "2m"}, extra...)
 	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
-		return nil, "", fmt.Errorf("start %s: %w", bin, err)
+		return nil, fmt.Errorf("start %s: %w", bin, err)
 	}
-	return cmd, "http://" + addr, nil
+	return cmd, nil
 }
 
 // stopGracefully SIGTERMs the daemon and requires a clean drain.
