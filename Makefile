@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race verify bench bench-check smoke smoke-fleet smoke-ha fuzz
+.PHONY: build test test-short vet race verify bench bench-check smoke smoke-fleet smoke-ha fuzz sim-cluster sim-cluster-deep
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,22 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzClusterWire -fuzztime 10s ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzClaimWire -fuzztime 10s ./internal/cluster
+	$(GO) test -run '^$$' -fuzz FuzzClaimMerge -fuzztime 10s ./internal/cluster
+
+# Seeded cluster simulation sweep (internal/cluster/simtest): every
+# schedule runs real coordinators/workers/claimers over the netchaos
+# fabric — crashes, partitions, loss, duplication, clock skew — and the
+# invariant checker must stay silent. A failing seed reproduces alone:
+# `go run ./tools/clustersim -start <seed> -seeds 1 -v`.
+SIM_SEEDS ?= 500
+SIM_START ?= 1
+sim-cluster:
+	$(GO) run ./tools/clustersim -start $(SIM_START) -seeds $(SIM_SEEDS)
+
+# Extended soak: more seeds, longer horizons, heavier weather.
+sim-cluster-deep:
+	$(GO) run ./tools/clustersim -start $(SIM_START) -seeds 2000 -horizon 800ms \
+		-chaos 'drop=0.08,delay=0.2:1ms:12ms,dup=0.05,reorder=0.05,skew=25ms'
 
 # End-to-end: boot a real slipd, drive one job over HTTP, cancel one,
 # then SIGKILL it mid-job and assert the restart recovers the journal.

@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/netchaos"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -81,6 +82,11 @@ func main() {
 		hedgeAfter  = flag.Duration("hedge-after", 0, "coordinator: fixed straggler threshold for hedged claims (0 = p95-driven)")
 		claimLease  = flag.Duration("claim-lease", 10*time.Second, "coordinator: claim lease duration; an unrenewed lease this old is reclaimed")
 		claimPoll   = flag.Duration("claim-poll", 2*time.Second, "long-poll hold for POST /cluster/claims (coordinator cap and worker request)")
+		brkFails    = flag.Int("breaker-failures", 0, "coordinator: consecutive replication failures before a peer's circuit breaker opens (default 5)")
+		brkCooldown = flag.Duration("breaker-cooldown", 0, "coordinator: how long an open peer breaker waits before its half-open probe (default 10× heartbeat)")
+		maxReplLag  = flag.Duration("max-replication-lag", 0, "coordinator: shed new jobs (503 + Retry-After) while every peer's replication lag exceeds this (0 = never shed)")
+		chaosSpec   = flag.String("chaos-spec", "", "inject seeded control-plane faults on this node's outbound fleet HTTP, e.g. drop=0.05,delay=0.1:1ms:20ms,dup=0.02,reorder=0.05,skew=50ms (testing only)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "seed for -chaos-spec; one seed fully determines the fault schedule")
 	)
 	flag.Parse()
 	if *noPersist {
@@ -120,6 +126,11 @@ func main() {
 		hedge:       *hedgeAfter,
 		lease:       *claimLease,
 		poll:        *claimPoll,
+		brkFails:    *brkFails,
+		brkCooldown: *brkCooldown,
+		maxReplLag:  *maxReplLag,
+		chaosSpec:   *chaosSpec,
+		chaosSeed:   *chaosSeed,
 	}
 	if err := run(*addr, cfg, fleet, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "slipd:", err)
@@ -141,6 +152,11 @@ type fleetConfig struct {
 	hedge       time.Duration
 	lease       time.Duration
 	poll        time.Duration
+	brkFails    int
+	brkCooldown time.Duration
+	maxReplLag  time.Duration
+	chaosSpec   string
+	chaosSeed   uint64
 }
 
 // splitURLs parses a comma-separated URL list, trimming blanks and
@@ -170,6 +186,27 @@ func run(addr string, cfg server.Config, fleet fleetConfig, drain time.Duration)
 		fmt.Fprintf(os.Stderr, "slipd: "+format+"\n", args...)
 	}
 
+	// Control-plane chaos (testing only): a seeded fault layer on this
+	// node's outbound fleet HTTP — heartbeats, claims, replication — so a
+	// live fleet can be drilled with reproducible network weather. The
+	// data plane (client-facing /jobs) is untouched.
+	var fleetHTTP *http.Client
+	if fleet.chaosSpec != "" {
+		spec, err := netchaos.ParseSpec(fleet.chaosSpec)
+		if err != nil {
+			return fmt.Errorf("parse -chaos-spec: %w", err)
+		}
+		spec.Seed = fleet.chaosSeed
+		chaos, err := netchaos.New(spec)
+		if err != nil {
+			return fmt.Errorf("arm -chaos-spec: %w", err)
+		}
+		self := deriveAdvertise(addr)
+		fleetHTTP = &http.Client{Transport: chaos.Transport(self, nil)}
+		cfg.ChaosInjected = func() uint64 { return chaos.Counters().Total() }
+		logf("control-plane chaos armed: %s (seed %d)", spec, fleet.chaosSeed)
+	}
+
 	var co *cluster.Coordinator
 	if fleet.coordinator {
 		ccfg := cluster.Config{
@@ -182,6 +219,10 @@ func run(addr string, cfg server.Config, fleet fleetConfig, drain time.Duration)
 			MaxAttempts:       cfg.MaxAttempts,
 			Peers:             fleet.peers,
 			SelfID:            deriveAdvertise(addr),
+			BreakerFailures:   fleet.brkFails,
+			BreakerCooldown:   fleet.brkCooldown,
+			MaxReplicationLag: fleet.maxReplLag,
+			HTTPClient:        fleetHTTP,
 			Logf:              logf,
 		}
 		if cfg.DataDir != "" {
@@ -269,6 +310,7 @@ func run(addr string, cfg server.Config, fleet fleetConfig, drain time.Duration)
 				Advertise:   adv,
 				Capacity:    cfg.Workers,
 				Load:        srv.Load,
+				HTTPClient:  fleetHTTP,
 				Logf:        logf,
 			})
 			if err != nil {
@@ -286,10 +328,11 @@ func run(addr string, cfg server.Config, fleet fleetConfig, drain time.Duration)
 			Slots:        cfg.Workers,
 			PollWait:     fleet.poll,
 			KeyFor:       srv.CacheKeyFor,
+			HTTPClient:   fleetHTTP,
 			Run: func(ctx context.Context, spec []byte) ([]byte, error) {
 				view, _, err := srv.SubmitJSON(spec)
 				if err != nil {
-					if errors.Is(err, server.ErrQueueFull) || errors.Is(err, server.ErrDraining) {
+					if errors.Is(err, server.ErrQueueFull) || errors.Is(err, server.ErrDraining) || errors.Is(err, server.ErrBackpressure) {
 						// Transient local refusal: abandon without a report so
 						// the lease expires instead of burning an attempt.
 						return nil, fmt.Errorf("%w: %v", cluster.ErrClaimAbandoned, err)

@@ -15,12 +15,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/faults/splitmix"
 )
 
 // ErrJobNotFound marks a 404 for a job id — after a server restart, ids
@@ -52,9 +53,29 @@ type Config struct {
 	// PollInterval spaces job-state polls (default 200ms).
 	PollInterval time.Duration
 	// Jitter returns the backoff jitter factor's random component in
-	// [0, 1); the default is a time-seeded source. Tests inject a
-	// constant to make retry schedules deterministic.
+	// [0, 1); the default draws from a splitmix64 stream seeded by Seed.
+	// Tests inject a constant to make retry schedules deterministic.
 	Jitter func() float64
+	// Seed seeds the default jitter stream. Zero derives a seed from the
+	// clock (the historical behavior); any other value makes the client's
+	// whole retry schedule reproducible.
+	Seed uint64
+	// RetryBudget is a token pool shared by every call through this
+	// client (default 10, rounded down to whole tokens when spending):
+	// each retry spends one token and each eventual success refunds half
+	// a token, up to the starting pool. When the pool is empty the client
+	// fails fast instead of walking the full backoff schedule — a
+	// persistently dead server costs one round trip per call, not
+	// MaxRetries of them. Negative disables the budget.
+	RetryBudget float64
+	// BreakerFailures consecutive failures against one endpoint open its
+	// breaker (default 3): rotation skips it for BreakerCooldown
+	// (default 5s) so retries concentrate on replicas that answer. With
+	// every endpoint open, rotation falls back to plain round-robin.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// Now is the endpoint breaker's clock (default time.Now).
+	Now func() time.Time
 	// Sleep is the delay primitive (default: a timer that aborts the
 	// moment ctx is cancelled). Tests inject a recorder to assert the
 	// backoff policy without real waiting.
@@ -86,7 +107,27 @@ func (c Config) withDefaults() Config {
 	if c.PollInterval <= 0 {
 		c.PollInterval = 200 * time.Millisecond
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 10
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
+}
+
+// endpointBreaker is one endpoint's failure tracking: after
+// BreakerFailures consecutive failures rotation skips the endpoint
+// until openUntil passes.
+type endpointBreaker struct {
+	fails     int
+	openUntil time.Time
 }
 
 // Client talks to a slipd server (or a list of coordinator replicas).
@@ -94,9 +135,11 @@ func (c Config) withDefaults() Config {
 type Client struct {
 	cfg Config
 
-	mu  sync.Mutex
-	rng *rand.Rand
-	cur int // index into cfg.Endpoints currently in use
+	mu     sync.Mutex
+	str    *splitmix.Stream
+	cur    int // index into cfg.Endpoints currently in use
+	eps    []endpointBreaker
+	tokens float64 // remaining retry budget
 
 	// sleep is the delay primitive; tests stub it to record and skip
 	// real waiting.
@@ -106,9 +149,16 @@ type Client struct {
 // New builds a Client for the server at cfg.BaseURL (or the coordinator
 // list in cfg.Endpoints).
 func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
 	c := &Client{
-		cfg: cfg.withDefaults(),
-		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:    cfg,
+		str:    splitmix.NewStream(seed),
+		eps:    make([]endpointBreaker, len(cfg.Endpoints)),
+		tokens: cfg.RetryBudget,
 	}
 	c.sleep = c.cfg.Sleep
 	if c.sleep == nil {
@@ -141,13 +191,92 @@ func (c *Client) endpoint() string {
 	return c.cfg.Endpoints[c.cur]
 }
 
+// pick selects the endpoint for the next attempt: the current one if
+// its breaker isn't open, else the nearest endpoint in rotation order
+// whose breaker has cooled off. With every breaker open it returns the
+// current endpoint anyway — a doomed attempt beats no attempt, and its
+// outcome is what eventually closes a breaker again.
+func (c *Client) pick() (string, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	n := len(c.cfg.Endpoints)
+	for off := 0; off < n; off++ {
+		i := (c.cur + off) % n
+		if now.Before(c.eps[i].openUntil) {
+			continue
+		}
+		c.cur = i
+		return c.cfg.Endpoints[i], i
+	}
+	return c.cfg.Endpoints[c.cur], c.cur
+}
+
+// observe feeds one attempt's outcome into the endpoint's breaker.
+func (c *Client) observe(idx int, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &c.eps[idx]
+	if !failed {
+		e.fails = 0
+		e.openUntil = time.Time{}
+		return
+	}
+	e.fails++
+	if e.fails >= c.cfg.BreakerFailures {
+		e.openUntil = c.cfg.Now().Add(c.cfg.BreakerCooldown)
+		e.fails = 0
+	}
+}
+
 // rotate advances to the next endpoint after a failure (no-op with a
-// single endpoint).
+// single endpoint), preferring endpoints whose breaker isn't open.
 func (c *Client) rotate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.cfg.Endpoints) > 1 {
-		c.cur = (c.cur + 1) % len(c.cfg.Endpoints)
+	n := len(c.cfg.Endpoints)
+	if n <= 1 {
+		return
+	}
+	c.cur = (c.cur + 1) % n
+	now := c.cfg.Now()
+	for off := 0; off < n; off++ {
+		i := (c.cur + off) % n
+		if now.Before(c.eps[i].openUntil) {
+			continue
+		}
+		c.cur = i
+		return
+	}
+	// Every breaker open: keep the plain round-robin advance.
+}
+
+// spendToken takes one retry token; false means the budget is dry and
+// the caller should fail fast.
+func (c *Client) spendToken() bool {
+	if c.cfg.RetryBudget < 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tokens < 1 {
+		return false
+	}
+	c.tokens--
+	return true
+}
+
+// refundToken returns half a token on a successful call, capped at the
+// starting pool, so a healthy server steadily re-earns retry headroom.
+func (c *Client) refundToken() {
+	if c.cfg.RetryBudget < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tokens += 0.5
+	if c.tokens > c.cfg.RetryBudget {
+		c.tokens = c.cfg.RetryBudget
 	}
 }
 
@@ -359,14 +488,19 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte) ([]by
 // doRetry performs one API request with the transient-failure policy:
 // transport errors, 5xx and 503-with-Retry-After are retried under
 // exponential backoff with jitter; everything else returns as-is. Each
-// failed attempt also rotates to the next configured endpoint.
+// failed attempt feeds the endpoint's breaker and rotates to the next
+// configured endpoint. Retries draw on the client-wide token budget —
+// when it is dry the call fails fast — and a backoff that cannot finish
+// before the context deadline fails fast too, surfacing the real error
+// instead of a context timeout from inside a pointless sleep.
 func (c *Client) doRetry(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, err
 		}
-		data, status, ra, err := c.do(ctx, method, path, body)
+		ep, idx := c.pick()
+		data, status, ra, err := c.do(ctx, ep, method, path, body)
 		delay := time.Duration(-1)
 		switch {
 		case err != nil:
@@ -378,14 +512,23 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte) 
 				delay = ra
 			}
 		default:
+			c.observe(idx, false)
+			c.refundToken()
 			return data, status, nil
 		}
+		c.observe(idx, true)
 		c.rotate()
 		if attempt >= c.cfg.MaxRetries {
 			return nil, 0, fmt.Errorf("giving up after %d retries: %w", c.cfg.MaxRetries, lastErr)
 		}
+		if !c.spendToken() {
+			return nil, 0, fmt.Errorf("retry budget exhausted: %w", lastErr)
+		}
 		if delay < 0 {
 			delay = c.backoff(attempt)
+		}
+		if deadline, ok := ctx.Deadline(); ok && delay >= deadline.Sub(c.cfg.Now()) {
+			return nil, 0, fmt.Errorf("next retry (%s backoff) would outlive the deadline: %w", delay, lastErr)
 		}
 		if err := c.sleep(ctx, delay); err != nil {
 			return nil, 0, err
@@ -396,12 +539,12 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte) 
 // do performs one HTTP round trip, draining the body so connections
 // reuse cleanly. ra is the parsed Retry-After header in seconds (-1 when
 // absent or unparsable).
-func (c *Client) do(ctx context.Context, method, path string, body []byte) (data []byte, status int, ra time.Duration, err error) {
+func (c *Client) do(ctx context.Context, ep, method, path string, body []byte) (data []byte, status int, ra time.Duration, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.endpoint()+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, ep+path, rd)
 	if err != nil {
 		return nil, 0, -1, err
 	}
@@ -437,7 +580,7 @@ func (c *Client) backoff(attempt int) time.Duration {
 		r = c.cfg.Jitter()
 	} else {
 		c.mu.Lock()
-		r = c.rng.Float64()
+		r = splitmix.Float64(c.str.Next(0, 0))
 		c.mu.Unlock()
 	}
 	return time.Duration(float64(d) * (0.5 + r)) // ±50% jitter

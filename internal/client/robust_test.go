@@ -1,0 +1,201 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Two clients with the same Seed must produce the same jittered backoff
+// schedule; a different seed must diverge somewhere.
+func TestSeededJitterDeterministic(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	schedule := func(seed uint64) []time.Duration {
+		c := New(Config{BaseURL: ts.URL, Seed: seed, MaxRetries: 5, BaseBackoff: 10 * time.Millisecond})
+		sleeps := recordedSleeps(c)
+		if _, err := c.Submit(context.Background(), json.RawMessage(`{}`)); err == nil {
+			t.Fatal("always-500 server produced a success")
+		}
+		return *sleeps
+	}
+	a, b := schedule(11), schedule(11)
+	if len(a) != 5 {
+		t.Fatalf("%d sleeps, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sleep[%d] differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(12)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 11 and 12 produced identical schedules")
+	}
+}
+
+// A dry retry budget turns calls against a dead server into fail-fast:
+// one round trip, no backoff walk.
+func TestRetryBudgetFailsFast(t *testing.T) {
+	var calls uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddUint64(&calls, 1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, RetryBudget: 2, MaxRetries: 5, Jitter: func() float64 { return 0.5 }})
+	sleeps := recordedSleeps(c)
+
+	_, err := c.Submit(context.Background(), json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("first call err = %v, want budget exhaustion", err)
+	}
+	if got := atomic.LoadUint64(&calls); got != 3 { // initial try + 2 budgeted retries
+		t.Fatalf("first call made %d round trips, want 3", got)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("first call slept %d times, want 2", len(*sleeps))
+	}
+
+	_, err = c.Submit(context.Background(), json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("second call err = %v, want budget exhaustion", err)
+	}
+	if got := atomic.LoadUint64(&calls); got != 4 { // exactly one more round trip, zero retries
+		t.Fatalf("second call made %d extra round trips, want 1", got-3)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatal("second call slept; an empty budget must fail fast")
+	}
+}
+
+// Successful calls refund half a token each, re-earning retry headroom.
+func TestRetryBudgetRefundsOnSuccess(t *testing.T) {
+	var fail atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"job":` + jobJSON("job-1", "queued") + `}`))
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, RetryBudget: 1, MaxRetries: 5, Jitter: func() float64 { return 0.5 }})
+	recordedSleeps(c)
+
+	fail.Store(true)
+	if _, err := c.Submit(context.Background(), json.RawMessage(`{}`)); err == nil {
+		t.Fatal("want failure with budget 1")
+	}
+	fail.Store(false)
+	for i := 0; i < 2; i++ { // two successes refund a whole token
+		if _, err := c.Submit(context.Background(), json.RawMessage(`{}`)); err != nil {
+			t.Fatalf("success %d: %v", i, err)
+		}
+	}
+	fail.Store(true)
+	_, err := c.Submit(context.Background(), json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("err = %v, want exhaustion after spending the refunded token", err)
+	}
+	c.mu.Lock()
+	tokens := c.tokens
+	c.mu.Unlock()
+	if tokens != 0 {
+		t.Fatalf("tokens = %v, want the refunded token spent back to 0", tokens)
+	}
+}
+
+// A backoff that cannot finish before the context deadline fails fast
+// with the underlying error instead of sleeping into a timeout.
+func TestBackoffStopsAtDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: 5, BaseBackoff: 10 * time.Second, Jitter: func() float64 { return 0.5 }})
+	sleeps := recordedSleeps(c)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_, err := c.Submit(ctx, json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "would outlive the deadline") {
+		t.Fatalf("err = %v, want deadline fail-fast", err)
+	}
+	if !strings.Contains(err.Error(), "HTTP 500") {
+		t.Fatalf("err = %v, want the real server error preserved", err)
+	}
+	if len(*sleeps) != 0 {
+		t.Fatalf("slept %v before failing; must not sleep at all", *sleeps)
+	}
+}
+
+// After an endpoint's breaker opens, rotation routes around it until the
+// cooldown passes.
+func TestRotationSkipsOpenEndpoint(t *testing.T) {
+	var deadHits uint64
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddUint64(&deadHits, 1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	var liveFails atomic.Bool
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if liveFails.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"job":` + jobJSON("job-1", "queued") + `}`))
+	}))
+	defer live.Close()
+
+	now := time.Now()
+	c := New(Config{
+		Endpoints:       []string{dead.URL, live.URL},
+		MaxRetries:      3,
+		BreakerFailures: 1,
+		BreakerCooldown: time.Minute,
+		Jitter:          func() float64 { return 0.5 },
+		Now:             func() time.Time { return now },
+	})
+	recordedSleeps(c)
+
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(context.Background(), json.RawMessage(`{}`)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if got := atomic.LoadUint64(&deadHits); got != 1 {
+		t.Fatalf("dead endpoint hit %d times, want 1 (breaker must hold rotation off it)", got)
+	}
+
+	// Cooldown elapsed and the live endpoint starts failing: rotation is
+	// allowed back onto the cooled endpoint instead of pinning to the
+	// newly-broken one.
+	now = now.Add(2 * time.Minute)
+	liveFails.Store(true)
+	if _, err := c.Submit(context.Background(), json.RawMessage(`{}`)); err == nil {
+		t.Fatal("both endpoints failing should fail the call")
+	}
+	if got := atomic.LoadUint64(&deadHits); got < 2 {
+		t.Fatalf("dead endpoint hit %d times after cooldown, want ≥2 (must be probed again)", got)
+	}
+}

@@ -21,6 +21,16 @@ type ResultSink interface {
 	StoreResult(key string, result []byte) error
 }
 
+// ResultSource is the optional read side of a ResultSink. The claims
+// journal deliberately records terminal states without their payloads
+// (results live in the content-addressed store), so a replayed done
+// entry comes back byte-less; a sink that can also load results lets
+// the table rehydrate those entries at attach time instead of
+// replicating empty terminals or re-executing finished work.
+type ResultSource interface {
+	LoadResult(key string) ([]byte, bool)
+}
+
 // claimEntry is one job's lease state. All fields are guarded by the
 // table mutex; done is closed exactly once, when the entry settles.
 type claimEntry struct {
@@ -86,6 +96,12 @@ type ClaimTable struct {
 	journal  func(rec store.Record, sync bool)
 	sink     ResultSink
 	onChange func()
+
+	// disableTerminalWins is the simulation harness's mutation hook: it
+	// switches off the incoming-terminal-settles rule in Merge so the
+	// invariant checker can be shown to catch a broken merge. Never set
+	// outside tests.
+	disableTerminalWins bool
 
 	ctr ClaimCounters
 }
@@ -432,11 +448,14 @@ func (t *ClaimTable) Snapshot() []ClaimRecord {
 
 // Merge reconciles a peer's records into the table. Precedence, per
 // entry: a local terminal state wins (except that a local done entry
-// missing its bytes adopts the peer's bytes); an incoming terminal
-// state settles the local entry; among non-terminal states the higher
-// attempt wins, and at equal attempts claimed beats pending. The rules
-// commute, so two coordinators merging each other's snapshots converge
-// without a leader.
+// missing its bytes adopts the peer's bytes, and a local failed entry
+// yields to a peer's done-with-bytes — "failed" means the budget ran
+// out here, but some copy of the work completed, so both sides converge
+// on the success); an incoming terminal state settles the local entry;
+// among non-terminal states the higher attempt wins, and at equal
+// attempts claimed beats pending. The rules commute, so two
+// coordinators merging each other's snapshots converge without a
+// leader.
 func (t *ClaimTable) Merge(records []ClaimRecord) {
 	type sinkPut struct {
 		key string
@@ -465,11 +484,41 @@ func (t *ClaimTable) Merge(records []ClaimRecord) {
 		inTerminal := in.State == ClaimDone || in.State == ClaimFailed
 		switch {
 		case e.terminal():
+			if inTerminal && in.Attempt > e.attempt {
+				// Converge terminal bookkeeping: both sides settle on the
+				// highest attempt that reported, whatever the arrival order.
+				e.attempt = in.Attempt
+			}
 			if e.state == ClaimDone && len(e.result) == 0 && in.State == ClaimDone && len(in.Result) > 0 {
 				e.result = in.Result
 				stores = append(stores, sinkPut{in.Key, in.Result})
 			}
+			if e.state == ClaimFailed && in.State == ClaimDone && len(in.Result) > 0 {
+				// done-with-bytes beats failed in both merge directions:
+				// without this, A=failed/B=done would disagree forever.
+				// e.done is already closed; adopt in place, don't re-settle.
+				e.state = ClaimDone
+				e.errMsg = ""
+				e.result = in.Result
+				if in.Attempt > e.attempt {
+					e.attempt = in.Attempt
+				}
+				recs = append(recs, e.record())
+				stores = append(stores, sinkPut{in.Key, in.Result})
+			}
 		case inTerminal:
+			if t.disableTerminalWins {
+				break // mutation hook: pretend the peer's terminal never arrived
+			}
+			if in.State == ClaimDone && len(in.Result) == 0 {
+				// A done record whose bytes didn't survive its origin's
+				// restart. Settling on it would hand dispatch waiters an
+				// empty result and store nothing; leave the entry live —
+				// the bytes arrive on a later snapshot once the origin
+				// rehydrates, or a worker re-runs the job (determinism
+				// makes the re-execution free).
+				break
+			}
 			t.settleLocked(e, in.State, in.Result, in.Error, false)
 			if in.Attempt > e.attempt {
 				e.attempt = in.Attempt
@@ -490,6 +539,19 @@ func (t *ClaimTable) Merge(records []ClaimRecord) {
 				e.expires = time.Time{}
 			}
 			recs = append(recs, e.record())
+		case in.Attempt == e.attempt && in.State == ClaimClaimed && e.state == ClaimClaimed:
+			// Same lease seen from both sides: renewals push the holder's
+			// expiry forward, and without carrying that refresh across,
+			// every peer reclaims any job that outlives one lease — even
+			// with perfectly synchronized clocks — and a clock-skewed peer
+			// reclaims even sooner. Taking the max keeps the rule
+			// commutative and only ever delays reclaim.
+			if in.ExpiresMs > 0 {
+				if exp := time.UnixMilli(in.ExpiresMs); exp.After(e.expires) {
+					e.expires = exp
+					recs = append(recs, e.record())
+				}
+			}
 		}
 	}
 	if terminalAdopted {
@@ -539,6 +601,22 @@ func (t *ClaimTable) seed(records []store.Record) {
 		}
 		t.entries[r.Key] = e
 		t.order = append(t.order, r.Key)
+	}
+}
+
+// rehydrate refills byte-less done entries (journal replay restores the
+// state but not the payload) from the attached store, so this
+// coordinator replicates real terminals instead of empty ones and
+// dispatch waiters joining the entry get bytes, not a re-execution.
+func (t *ClaimTable) rehydrate(src ResultSource) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.state == ClaimDone && len(e.result) == 0 {
+			if b, ok := src.LoadResult(e.key); ok && len(b) > 0 {
+				e.result = b
+			}
+		}
 	}
 }
 

@@ -50,6 +50,24 @@ type Config struct {
 	// replicated to each of them every heartbeat interval (and on every
 	// mutation), leader-lessly.
 	Peers []string
+	// BreakerFailures is how many consecutive replication failures open a
+	// peer's circuit breaker (default 5). While open, pushes to that peer
+	// are skipped until BreakerCooldown elapses; the first push after the
+	// cooldown is a half-open probe whose outcome closes or re-opens it.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker waits before probing
+	// (default 10× the heartbeat interval).
+	BreakerCooldown time.Duration
+	// MaxReplicationLag, when positive, arms backpressure: if every
+	// peer's last successful replication push is older than this, the
+	// server sheds new submissions with 503 + Retry-After until a push
+	// lands again. Zero disables shedding.
+	MaxReplicationLag time.Duration
+	// DisableMergeTerminalWins turns off the incoming-terminal-settles
+	// precedence rule in the claim-table merge. It exists solely so the
+	// simulation harness can prove its invariant checker catches a broken
+	// merge; never set it in production.
+	DisableMergeTerminalWins bool
 	// SelfID labels this coordinator in replication batches and logs
 	// (default "coordinator").
 	SelfID string
@@ -89,6 +107,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HedgePercentile <= 0 || c.HedgePercentile >= 1 {
 		c.HedgePercentile = 0.95
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * c.HeartbeatInterval
 	}
 	if c.SelfID == "" {
 		c.SelfID = "coordinator"
@@ -146,8 +170,9 @@ func NewCoordinator(cfg Config) *Coordinator {
 		co.table.seed(cfg.Replay)
 		cfg.Logf("cluster: restored %d claims from journal", len(co.table.Views()))
 	}
+	co.table.disableTerminalWins = cfg.DisableMergeTerminalWins
 	for _, u := range cfg.Peers {
-		co.peers = append(co.peers, &peerLink{url: u})
+		co.peers = append(co.peers, &peerLink{url: u, failures: cfg.BreakerFailures, cooldown: cfg.BreakerCooldown})
 	}
 	if len(co.peers) > 0 {
 		kick := make(chan struct{}, 1)
@@ -168,9 +193,15 @@ func NewCoordinator(cfg Config) *Coordinator {
 // AttachResults plugs the coordinator's settled claims into a result
 // sink (the server's content-addressed cache), so any coordinator that
 // observes a terminal claim — from a worker's report or from peer
-// replication — can serve the bytes itself.
+// replication — can serve the bytes itself. A sink that can also load
+// results (ResultSource) additionally rehydrates done entries replayed
+// from the claims journal, whose payloads live in the store rather than
+// the journal.
 func (co *Coordinator) AttachResults(sink ResultSink) {
 	co.table.sink = sink
+	if src, ok := sink.(ResultSource); ok {
+		co.table.rehydrate(src)
+	}
 }
 
 // Close stops the background loops and closes the claims journal.
@@ -273,7 +304,11 @@ func (co *Coordinator) Handler() http.Handler {
 		if wait > co.cfg.ClaimWait {
 			wait = co.cfg.ClaimWait
 		}
-		deadline := time.Now().Add(wait)
+		// One deadline timer for the whole poll: retry loops under a
+		// wake storm used to allocate a fresh timer per iteration, which
+		// shows up as timer churn with hundreds of parked claimers.
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
 		for {
 			// Fetch the wake channel before trying to claim: any grant-able
 			// mutation after the attempt closes this channel, so no wakeup
@@ -283,21 +318,13 @@ func (co *Coordinator) Handler() http.Handler {
 				writeClusterJSON(w, http.StatusOK, g)
 				return
 			}
-			remaining := time.Until(deadline)
-			if remaining <= 0 {
-				w.WriteHeader(http.StatusNoContent)
-				return
-			}
-			timer := time.NewTimer(remaining)
 			select {
 			case <-r.Context().Done():
-				timer.Stop()
 				return
 			case <-timer.C:
 				w.WriteHeader(http.StatusNoContent)
 				return
 			case <-wake:
-				timer.Stop()
 			}
 		}
 	})
@@ -407,6 +434,19 @@ func (co *Coordinator) Dispatch(ctx context.Context, key, label string, spec ser
 			return result, nil
 		}
 	}
+}
+
+// ClaimViews exports the live claim table, oldest first. The simulation
+// harness's invariant monitor polls it; operators get the same data via
+// GET /cluster/claims.
+func (co *Coordinator) ClaimViews() []ClaimView {
+	return co.table.Views()
+}
+
+// ClaimCounters exports the table's lifetime counters for harness
+// assertions (lease expirations, duplicate reports, hedges).
+func (co *Coordinator) ClaimCounters() ClaimCounters {
+	return co.table.Counters()
 }
 
 // hedgeThreshold picks the straggler threshold for a label: the fixed

@@ -1,0 +1,240 @@
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"", Spec{DelayMin: time.Millisecond, DelayMax: 25 * time.Millisecond}},
+		{"none", Spec{DelayMin: time.Millisecond, DelayMax: 25 * time.Millisecond}},
+		{"drop=0.05", Spec{Drop: 0.05, DelayMin: time.Millisecond, DelayMax: 25 * time.Millisecond}},
+		{"drop=0.1,delay=0.2:2ms:30ms,dup=0.02,reorder=0.05,skew=50ms", Spec{
+			Drop: 0.1, Delay: 0.2, DelayMin: 2 * time.Millisecond, DelayMax: 30 * time.Millisecond,
+			Dup: 0.02, Reorder: 0.05, SkewMax: 50 * time.Millisecond,
+		}},
+		{"delay=0.3", Spec{Delay: 0.3, DelayMin: time.Millisecond, DelayMax: 25 * time.Millisecond}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"drop=2", "drop=-1", "nope=1", "delay=0.1:5ms", "delay", "skew=xyz"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// Same seed, same link, same message sequence → identical verdicts.
+// Different seeds diverge.
+func TestJudgeDeterministicPerSeed(t *testing.T) {
+	spec := Spec{Seed: 42, Drop: 0.3, Delay: 0.3, DelayMin: time.Millisecond, DelayMax: 10 * time.Millisecond, Dup: 0.2, Reorder: 0.1}
+	run := func(seed uint64) []verdict {
+		s := spec
+		s.Seed = seed
+		c := MustNew(s)
+		var out []verdict
+		for i := 0; i < 200; i++ {
+			out = append(out, c.judge("a", "b"))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 42 and 43 produced identical plans")
+	}
+}
+
+// Concurrent traffic on different links must not perturb a link's draw
+// sequence: link draws are keyed per (class, link) counter.
+func TestLinkStreamsIndependentUnderConcurrency(t *testing.T) {
+	spec := Spec{Seed: 7, Drop: 0.5}
+	solo := MustNew(spec)
+	var want []verdict
+	for i := 0; i < 100; i++ {
+		want = append(want, solo.judge("a", "b"))
+	}
+
+	mixed := MustNew(spec)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // noise on other links, concurrently
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			mixed.judge("x", "y")
+			mixed.judge("b", "a")
+		}
+	}()
+	var got []verdict
+	for i := 0; i < 100; i++ {
+		got = append(got, mixed.judge("a", "b"))
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("a→b verdict %d shifted under concurrent traffic on other links", i)
+		}
+	}
+}
+
+func TestSkewStableAndBounded(t *testing.T) {
+	c := MustNew(Spec{Seed: 9, SkewMax: 50 * time.Millisecond})
+	seen := map[time.Duration]bool{}
+	for _, n := range []string{"c0", "c1", "c2", "w0", "w1", "w2", "w3"} {
+		s := c.Skew(n)
+		if s < -50*time.Millisecond || s > 50*time.Millisecond {
+			t.Fatalf("skew(%s) = %s outside bounds", n, s)
+		}
+		if s != c.Skew(n) {
+			t.Fatalf("skew(%s) unstable", n)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("all nodes drew the same skew; draws look broken")
+	}
+	if MustNew(Spec{Seed: 9}).Skew("c0") != 0 {
+		t.Fatal("zero SkewMax must mean zero skew")
+	}
+}
+
+func TestNetworkDeliversAndCrashRefuses(t *testing.T) {
+	n, err := NewNetwork(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Register("srv", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "echo:%s:%s", r.URL.Path, b)
+	}))
+	cl := n.Client("cli")
+	resp, err := cl.Post(n.URL("srv")+"/x", "text/plain", nil)
+	if err != nil {
+		t.Fatalf("in-process round trip: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "echo:/x:" {
+		t.Fatalf("body = %q", b)
+	}
+
+	n.Deregister("srv")
+	if _, err := cl.Get(n.URL("srv") + "/x"); err == nil {
+		t.Fatal("message to a crashed node succeeded")
+	}
+}
+
+func TestPartitionBlocksBothDirectionsUntilHeal(t *testing.T) {
+	n, _ := NewNetwork(Spec{})
+	hits := uint64(0)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { atomic.AddUint64(&hits, 1) })
+	n.Register("a", h)
+	n.Register("b", h)
+	n.Chaos().Partition([]string{"a"}, []string{"b"})
+	if _, err := n.Client("a").Get(n.URL("b")); err == nil {
+		t.Fatal("a→b crossed the partition")
+	}
+	if _, err := n.Client("b").Get(n.URL("a")); err == nil {
+		t.Fatal("b→a crossed the partition")
+	}
+	// A node outside every group still reaches both sides.
+	if _, err := n.Client("outsider").Get(n.URL("a")); err != nil {
+		t.Fatalf("outsider→a: %v", err)
+	}
+	if got := n.Chaos().Counters().Partitioned; got != 2 {
+		t.Fatalf("Partitioned = %d, want 2", got)
+	}
+	if v := n.Chaos().PartitionView(); v != "a|b" {
+		t.Fatalf("PartitionView = %q", v)
+	}
+	n.Chaos().Heal()
+	if _, err := n.Client("a").Get(n.URL("b")); err != nil {
+		t.Fatalf("a→b after heal: %v", err)
+	}
+	if atomic.LoadUint64(&hits) != 2 {
+		t.Fatalf("handler hits = %d, want 2 (outsider→a, healed a→b)", hits)
+	}
+}
+
+// A lost reply must still deliver the request (side effect lands), and a
+// dropped request must not.
+func TestDropModes(t *testing.T) {
+	n, _ := NewNetwork(Spec{Seed: 1, Drop: 1})
+	var delivered uint64
+	n.Register("srv", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { atomic.AddUint64(&delivered, 1) }))
+	cl := n.Client("cli")
+	for i := 0; i < 40; i++ {
+		if _, err := cl.Get(n.URL("srv")); err == nil {
+			t.Fatal("drop=1 let a call succeed")
+		}
+	}
+	ctr := n.Chaos().Counters()
+	if ctr.Dropped == 0 || ctr.RepliesLost == 0 {
+		t.Fatalf("want both drop modes exercised, got %+v", ctr)
+	}
+	if atomic.LoadUint64(&delivered) != ctr.RepliesLost {
+		t.Fatalf("delivered=%d but replies lost=%d: reply-lost must deliver exactly once", delivered, ctr.RepliesLost)
+	}
+	if ctr.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", ctr.Total())
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	n, _ := NewNetwork(Spec{Seed: 3, Dup: 1})
+	var delivered uint64
+	n.Register("srv", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { atomic.AddUint64(&delivered, 1) }))
+	cl := n.Client("cli")
+	if _, err := cl.Get(n.URL("srv")); err != nil {
+		t.Fatalf("dup'd call failed: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for atomic.LoadUint64(&delivered) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("duplicate never delivered (hits=%d)", delivered)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQuiesceStopsInjection(t *testing.T) {
+	n, _ := NewNetwork(Spec{Seed: 5, Drop: 1})
+	n.Register("srv", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	n.Chaos().Quiesce()
+	for i := 0; i < 20; i++ {
+		if _, err := n.Client("cli").Get(n.URL("srv")); err != nil {
+			t.Fatalf("quiesced drop still fired: %v", err)
+		}
+	}
+	n.Chaos().Resume()
+	if _, err := n.Client("cli").Get(n.URL("srv")); err == nil {
+		t.Fatal("resume did not re-arm drops")
+	}
+}

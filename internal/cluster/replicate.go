@@ -13,42 +13,130 @@ import (
 	"repro/internal/server"
 )
 
-// peerLink tracks one peer coordinator's reachability. The replication
-// loop is the only writer; Stats reads concurrently.
+// Circuit breaker states for a peer link. A link starts closed; after
+// BreakerFailures consecutive push failures it opens, and pushes are
+// skipped until BreakerCooldown elapses. The first push after the
+// cooldown is a half-open probe: success closes the breaker, failure
+// re-opens it for another cooldown.
+const (
+	breakerClosed = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+func breakerName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// peerLink tracks one peer coordinator's reachability and breaker. The
+// replication loop is the only caller of allow/observe; Stats reads
+// concurrently.
 type peerLink struct {
-	url string
+	url      string
+	failures int           // breaker threshold (consecutive failures)
+	cooldown time.Duration // open → half-open probe delay
 
 	mu        sync.Mutex
 	attempted bool
 	ok        bool
 	lastOK    time.Time
+	fails     int
+	state     int
+	openUntil time.Time
 }
 
 func (p *peerLink) status(now time.Time) server.PeerStatus {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	s := server.PeerStatus{URL: p.url, Reachable: p.attempted && p.ok, LagMs: -1}
+	s := server.PeerStatus{
+		URL:       p.url,
+		Reachable: p.attempted && p.ok,
+		LagMs:     -1,
+		Breaker:   breakerName(p.state),
+	}
 	if !p.lastOK.IsZero() {
 		s.LagMs = now.Sub(p.lastOK).Milliseconds()
 	}
 	return s
 }
 
-func (p *peerLink) observe(now time.Time, err error, logf func(string, ...any)) {
+// lag is how far behind this peer's copy of the claim table may be:
+// time since the last successful push. Unattempted peers report zero
+// (the loop hasn't run yet); attempted-but-never-successful peers
+// report the maximum.
+func (p *peerLink) lag(now time.Time) time.Duration {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if !p.attempted {
+		return 0
+	}
+	if p.lastOK.IsZero() {
+		return time.Duration(1<<63 - 1)
+	}
+	return now.Sub(p.lastOK)
+}
+
+// allow reports whether the replication loop should push to this peer
+// now. An open breaker swallows pushes until the cooldown elapses, then
+// lets exactly one through as the half-open probe.
+func (p *peerLink) allow(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.state {
+	case breakerOpen:
+		if now.Before(p.openUntil) {
+			return false
+		}
+		p.state = breakerHalfOpen
+		return true
+	case breakerHalfOpen:
+		// A probe is already in flight (or just failed and observe will
+		// re-open); don't stack probes.
+		return false
+	default:
+		return true
+	}
+}
+
+func (p *peerLink) observe(now time.Time, err error, logf func(string, ...any)) {
+	p.mu.Lock()
 	wasOK, wasAttempted := p.ok, p.attempted
 	p.attempted = true
 	p.ok = err == nil
 	if err == nil {
 		p.lastOK = now
+		p.fails = 0
+		reclosed := p.state != breakerClosed
+		p.state = breakerClosed
+		p.mu.Unlock()
 		if !wasOK {
 			logf("cluster: peer %s reachable", p.url)
 		}
+		if reclosed {
+			logf("cluster: breaker closed for peer %s", p.url)
+		}
 		return
 	}
+	p.fails++
+	opened := false
+	if p.state == breakerHalfOpen || (p.state == breakerClosed && p.fails >= p.failures) {
+		p.state = breakerOpen
+		p.openUntil = now.Add(p.cooldown)
+		opened = true
+	}
+	p.mu.Unlock()
 	if wasOK || !wasAttempted {
 		logf("cluster: peer %s unreachable: %v", p.url, err)
+	}
+	if opened {
+		logf("cluster: breaker open for peer %s (cooldown %s)", p.url, p.cooldown)
 	}
 }
 
@@ -80,6 +168,9 @@ func (co *Coordinator) replicateOnce() {
 		return
 	}
 	for _, p := range co.peers {
+		if !p.allow(co.cfg.Now()) {
+			continue
+		}
 		p.observe(co.cfg.Now(), co.postReplicate(p.url, body), co.cfg.Logf)
 	}
 }
@@ -102,4 +193,31 @@ func (co *Coordinator) postReplicate(url string, body []byte) error {
 		return fmt.Errorf("peer answered HTTP %d", resp.StatusCode)
 	}
 	return nil
+}
+
+// ShedNewJobs implements replication-lag backpressure: it reports true
+// (with a suggested retry delay) when every peer's last successful push
+// is older than MaxReplicationLag — meaning nothing this coordinator
+// accepts right now is durably mirrored anywhere. The server answers
+// new submissions with 503 + Retry-After while this holds. Disabled
+// when MaxReplicationLag is zero or the coordinator has no peers.
+func (co *Coordinator) ShedNewJobs() (time.Duration, bool) {
+	if co.cfg.MaxReplicationLag <= 0 || len(co.peers) == 0 {
+		return 0, false
+	}
+	now := co.cfg.Now()
+	min := time.Duration(1<<63 - 1)
+	for _, p := range co.peers {
+		if l := p.lag(now); l < min {
+			min = l
+		}
+	}
+	if min <= co.cfg.MaxReplicationLag {
+		return 0, false
+	}
+	retry := co.cfg.HeartbeatInterval
+	if retry < time.Second {
+		retry = time.Second
+	}
+	return retry, true
 }

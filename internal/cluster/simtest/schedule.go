@@ -1,0 +1,180 @@
+package simtest
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/faults/splitmix"
+)
+
+// Schedule draw classes. These feed the harness's own stream (seeded
+// from the schedule seed, decorrelated from the chaos stream), so the
+// event plan is a pure function of the seed and the option counts.
+const (
+	clsSubmitAt  = 1 // actor=job: submission time
+	clsSubmitCo  = 2 // actor=job: first coordinator to try
+	clsCoCrash   = 3 // actor=coordinator: crash? and where in its slot
+	clsWkCrash   = 4 // actor=worker: crash? and when
+	clsPartition = 5 // actor=0: partition? when, how long; actor=node+16: group side
+)
+
+type evKind int
+
+const (
+	evSubmit evKind = iota
+	evCrashCoord
+	evRestartCoord
+	evCrashWorker
+	evPartition
+	evHeal
+)
+
+type event struct {
+	at   time.Duration
+	kind evKind
+	idx  int
+}
+
+// frac turns one draw into a uniform fraction of d.
+func frac(draw uint64, d time.Duration) time.Duration {
+	return time.Duration(splitmix.Float64(draw) * float64(d))
+}
+
+// plan generates the seeded event list. Structural guarantees, so every
+// seed is a *valid* schedule rather than a vacuous one:
+//
+//   - all submissions land in the first half of the horizon;
+//   - coordinator crash windows are disjoint per coordinator and each
+//     crash restarts inside its own window, so at most one coordinator
+//     is ever down and the cluster always has a majority view to settle
+//     into;
+//   - workers that crash stay down until the settle phase resurrects
+//     them — their leases must expire and their claims re-run elsewhere;
+//   - at most one partition episode, always healed by the settle phase
+//     even if the heal event would fall past the horizon.
+func (h *harness) plan() ([]event, []int, [][]string) {
+	s, H := h.str, h.opts.Horizon
+	var evs []event
+
+	submitCo := make([]int, h.opts.Jobs)
+	for i := 0; i < h.opts.Jobs; i++ {
+		evs = append(evs, event{at: frac(s.Next(clsSubmitAt, uint64(i)), H/2), kind: evSubmit, idx: i})
+		submitCo[i] = int(s.Next(clsSubmitCo, uint64(i)) % uint64(len(h.coords)))
+	}
+
+	// NoChaos is the quiet baseline: submissions only — no crashes, no
+	// partitions, no network weather. Everything below is scheduled
+	// infrastructure failure.
+	if h.opts.NoChaos {
+		sortEvents(evs)
+		return evs, submitCo, nil
+	}
+
+	if n := len(h.coords); n > 1 {
+		// Crash window [0.2H, 0.85H), one disjoint slot per coordinator.
+		base, span := H/5, H*13/20
+		slot := span / time.Duration(n)
+		for i := range h.coords {
+			if splitmix.Float64(s.Next(clsCoCrash, uint64(i))) >= 0.6 {
+				continue
+			}
+			crashAt := base + slot*time.Duration(i) + frac(s.Next(clsCoCrash, uint64(i)), slot/3)
+			restartAt := crashAt + slot/4 + frac(s.Next(clsCoCrash, uint64(i)), slot/4)
+			evs = append(evs,
+				event{at: crashAt, kind: evCrashCoord, idx: i},
+				event{at: restartAt, kind: evRestartCoord, idx: i})
+		}
+	}
+
+	for i := range h.workers {
+		if splitmix.Float64(s.Next(clsWkCrash, uint64(i))) < 0.4 {
+			at := H/10 + frac(s.Next(clsWkCrash, uint64(i)), H*7/10)
+			evs = append(evs, event{at: at, kind: evCrashWorker, idx: i})
+		}
+	}
+
+	var groups [][]string
+	if len(h.coords) > 1 && splitmix.Float64(s.Next(clsPartition, 0)) < 0.6 {
+		at := H*3/20 + frac(s.Next(clsPartition, 0), H*2/5)
+		dur := H/10 + frac(s.Next(clsPartition, 0), H/4)
+		// Random two-coloring of every node. Coordinator 0 anchors side A
+		// so neither side is empty.
+		var a, b []string
+		for i, n := range h.coords {
+			if i == 0 || splitmix.Float64(s.Next(clsPartition, uint64(16+i))) < 0.5 {
+				a = append(a, n.name)
+			} else {
+				b = append(b, n.name)
+			}
+		}
+		for i, w := range h.workers {
+			if splitmix.Float64(s.Next(clsPartition, uint64(64+i))) < 0.5 {
+				a = append(a, w.name)
+			} else {
+				b = append(b, w.name)
+			}
+		}
+		if len(b) > 0 {
+			groups = [][]string{a, b}
+			evs = append(evs,
+				event{at: at, kind: evPartition},
+				event{at: at + dur, kind: evHeal})
+		}
+	}
+
+	sortEvents(evs)
+	return evs, submitCo, groups
+}
+
+// sortEvents is a small insertion sort keyed on time; schedules are a
+// few dozen events at most.
+func sortEvents(evs []event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].at < evs[j-1].at; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// runSchedule plays the event list in real (compressed) time. Client
+// submissions run on their own goroutines tracked by wg; crash events
+// execute inline so their effects order exactly as planned.
+func (h *harness) runSchedule(wg *sync.WaitGroup) {
+	evs, submitCo, groups := h.plan()
+	deadline := time.Now().Add(h.opts.Horizon + h.opts.SettleTimeout)
+	start := time.Now()
+	for _, ev := range evs {
+		if d := ev.at - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		switch ev.kind {
+		case evSubmit:
+			wg.Add(1)
+			job, first := ev.idx, submitCo[ev.idx]
+			go func() {
+				defer wg.Done()
+				h.submit(job, first, deadline)
+			}()
+		case evCrashCoord:
+			h.opts.Logf("schedule: crash %s at %v", h.coords[ev.idx].name, ev.at)
+			h.coords[ev.idx].crash()
+		case evRestartCoord:
+			h.opts.Logf("schedule: restart %s at %v", h.coords[ev.idx].name, ev.at)
+			if err := h.coords[ev.idx].start(); err != nil {
+				h.violate("restart %s: %v", h.coords[ev.idx].name, err)
+			}
+		case evCrashWorker:
+			h.opts.Logf("schedule: crash %s at %v", h.workers[ev.idx].name, ev.at)
+			h.workers[ev.idx].crash()
+		case evPartition:
+			h.opts.Logf("schedule: partition %v at %v", groups, ev.at)
+			h.net.Chaos().Partition(groups...)
+		case evHeal:
+			h.opts.Logf("schedule: heal at %v", ev.at)
+			h.net.Chaos().Heal()
+		}
+	}
+	if d := h.opts.Horizon - time.Since(start); d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/faults/splitmix"
 	"repro/internal/sim"
 )
 
@@ -187,12 +188,11 @@ func parseClasses(s string) ([]Class, error) {
 // A nil *Injector is a valid, permanently-quiet injector: every hook
 // method returns zero, so the hot paths need no explicit guards.
 type Injector struct {
-	seed      uint64
+	str       *splitmix.Stream
 	threshold uint64 // rate mapped onto the hash range
 	always    bool   // rate == 1
 	enabled   [NumClasses]bool
 	counts    [NumClasses]uint64
-	seq       map[seqKey]uint64
 	noted     map[seqKey]bool // straggler membership, counted once
 }
 
@@ -209,23 +209,12 @@ func New(cfg *Config) *Injector {
 		return nil
 	}
 	in := &Injector{
-		seed:   cfg.Seed,
-		always: cfg.Rate >= 1,
-		seq:    map[seqKey]uint64{},
-		noted:  map[seqKey]bool{},
+		str:   splitmix.NewStream(cfg.Seed),
+		noted: map[seqKey]bool{},
 	}
-	if !in.always {
-		// 2^64-1 scaled by the rate; float64 precision loss here is a
-		// deterministic constant of the plan, not a correctness issue. A
-		// product that rounds up to 2^64 would overflow the conversion,
-		// so rates that close to 1 degrade to "always".
-		f := cfg.Rate * float64(^uint64(0))
-		if f >= float64(^uint64(0)) {
-			in.always = true
-		} else {
-			in.threshold = uint64(f)
-		}
-	}
+	// Rates that round up to 2^64 when scaled onto the draw range would
+	// overflow the conversion, so they degrade to "always".
+	in.threshold, in.always = splitmix.Threshold(cfg.Rate)
 	if len(cfg.Classes) == 0 {
 		for c := range in.enabled {
 			in.enabled[c] = true
@@ -238,18 +227,9 @@ func New(cfg *Config) *Injector {
 	return in
 }
 
-// mix64 is the splitmix64 finalizer: a cheap, well-distributed hash.
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// hash derives the draw value for (class, actor, n) from the seed alone.
-func (in *Injector) hash(c Class, actor int, n uint64) uint64 {
-	return mix64(mix64(mix64(in.seed^(uint64(c)+1)*0xa24baed4963ee407) ^ uint64(actor)*0x9fb21c651e98df25) ^ n)
-}
+// mix64 keeps the package's historical shorthand for the shared
+// splitmix64 finalizer (magnitude derivation below reuses it).
+func mix64(x uint64) uint64 { return splitmix.Mix64(x) }
 
 // roll consumes one draw from the (class, actor) stream. It returns
 // whether the fault fires and the raw draw (reused for magnitudes so a
@@ -258,10 +238,7 @@ func (in *Injector) roll(c Class, actor int) (bool, uint64) {
 	if in == nil || !in.enabled[c] {
 		return false, 0
 	}
-	k := seqKey{c, actor}
-	n := in.seq[k]
-	in.seq[k] = n + 1
-	h := in.hash(c, actor, n)
+	h := in.str.Next(uint64(c), uint64(actor))
 	if !in.always && h >= in.threshold {
 		return false, 0
 	}
@@ -276,7 +253,7 @@ func (in *Injector) member(c Class, actor int) bool {
 	if in == nil || !in.enabled[c] {
 		return false
 	}
-	h := in.hash(c, actor, ^uint64(0)) // reserved draw index for membership
+	h := in.str.DrawAt(uint64(c), uint64(actor), ^uint64(0)) // reserved draw index for membership
 	if !in.always && h >= in.threshold {
 		return false
 	}

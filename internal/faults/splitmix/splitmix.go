@@ -1,0 +1,93 @@
+// Package splitmix is the repository's shared deterministic PRNG: the
+// splitmix64 finalizer plus a counter-based draw stream keyed on
+// (class, actor) pairs. It was extracted from internal/faults so every
+// seeded fault layer — the simulator's fault plans, the control-plane
+// network chaos in internal/cluster/netchaos, the client's retry jitter
+// — derives its decisions the same way: from nothing but a seed and
+// per-key draw counters, never from shared mutable global state. Two
+// runs with the same seed make identical decisions; two streams with
+// different seeds are independent.
+package splitmix
+
+// Mix64 is the splitmix64 finalizer: a cheap, well-distributed hash.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashString folds a string into a 64-bit value via Mix64, for deriving
+// stable per-name actors (node names, link names) without allocation.
+func HashString(s string) uint64 {
+	h := uint64(len(s))
+	for i := 0; i < len(s); i++ {
+		h = Mix64(h ^ uint64(s[i]))
+	}
+	return h
+}
+
+// Threshold maps a probability in [0, 1] onto the uint64 draw range: a
+// draw strictly below the threshold "fires". always reports a rate so
+// close to 1 that the scaled product would overflow the conversion — in
+// which case every draw fires.
+func Threshold(rate float64) (threshold uint64, always bool) {
+	if rate >= 1 {
+		return 0, true
+	}
+	if rate <= 0 {
+		return 0, false
+	}
+	// Float64 precision loss here is a deterministic constant of the
+	// plan, not a correctness issue.
+	f := rate * float64(^uint64(0))
+	if f >= float64(^uint64(0)) {
+		return 0, true
+	}
+	return uint64(f), false
+}
+
+// Stream is one seed's draw space. Draws are keyed by (class, actor):
+// each pair advances its own counter, so concurrent actors consume
+// independent sub-streams and adding a new hook point never shifts the
+// draws of existing ones. A Stream is not safe for concurrent use;
+// callers that share one across goroutines must lock around it.
+type Stream struct {
+	seed uint64
+	seq  map[Key]uint64
+}
+
+// Key identifies one (class, actor) draw sub-stream.
+type Key struct {
+	Class uint64
+	Actor uint64
+}
+
+// NewStream builds a draw stream for the seed.
+func NewStream(seed uint64) *Stream {
+	return &Stream{seed: seed, seq: map[Key]uint64{}}
+}
+
+// Seed returns the stream's seed.
+func (s *Stream) Seed() uint64 { return s.seed }
+
+// DrawAt derives the value of draw n in the (class, actor) sub-stream
+// without touching any counter. The formula is the historical
+// internal/faults one, kept verbatim so fault plans recorded before the
+// extraction replay byte-identically.
+func (s *Stream) DrawAt(class, actor, n uint64) uint64 {
+	return Mix64(Mix64(Mix64(s.seed^(class+1)*0xa24baed4963ee407)^actor*0x9fb21c651e98df25) ^ n)
+}
+
+// Next consumes one draw from the (class, actor) sub-stream.
+func (s *Stream) Next(class, actor uint64) uint64 {
+	k := Key{class, actor}
+	n := s.seq[k]
+	s.seq[k] = n + 1
+	return s.DrawAt(class, actor, n)
+}
+
+// Float64 maps a draw onto [0, 1).
+func Float64(draw uint64) float64 {
+	return float64(draw>>11) / float64(uint64(1)<<53)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Fleet seam: a Server configured with a Cluster backend routes job
@@ -29,6 +30,9 @@ type PeerStatus struct {
 	// LagMs is the age of the last successful replication to this peer
 	// in milliseconds, or -1 before the first success.
 	LagMs int64 `json:"replication_lag_ms"`
+	// Breaker is the replication circuit breaker's state for this peer:
+	// "closed", "half-open", or "open".
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // ClusterStats is a point-in-time snapshot of the fleet, surfaced in
@@ -68,6 +72,14 @@ type ClusterStats struct {
 type Cluster interface {
 	Dispatch(ctx context.Context, key, label string, spec JobSpec, progress io.Writer) ([]byte, error)
 	Stats() ClusterStats
+}
+
+// Shedder is the optional backpressure seam a Cluster backend may
+// implement: when it reports shed=true, the admission path refuses
+// brand-new submissions with ErrBackpressure (503 + Retry-After over
+// HTTP) until replication catches back up.
+type Shedder interface {
+	ShedNewJobs() (retryAfter time.Duration, shed bool)
 }
 
 // executeOrDispatch is the seam runJob calls: without a cluster backend

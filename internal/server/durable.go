@@ -278,6 +278,16 @@ func (s *Server) StoreResult(key string, result []byte) error {
 	return nil
 }
 
+// LoadResult is the read side of the same seam (the cluster package's
+// ResultSource): a coordinator restarting over a claims journal asks
+// the tiered cache for the payloads its replayed done entries lost.
+func (s *Server) LoadResult(key string) ([]byte, bool) {
+	if !store.ValidKey(key) {
+		return nil, false
+	}
+	return s.cacheGet(key)
+}
+
 // closePersistence compacts and closes the journal on shutdown. After a
 // clean drain every job is terminal, so the compacted journal replays
 // with zero requeues.

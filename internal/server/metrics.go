@@ -53,6 +53,7 @@ type metrics struct {
 	retries     uint64 // executions of a job beyond its first attempt
 	journalErrs uint64 // journal/store writes that failed (durability degraded)
 	localFalls  uint64 // jobs a coordinator executed locally for want of workers
+	replShed    uint64 // submissions 503'd because replication lagged every peer
 	latency     map[string]*histogram
 }
 
@@ -156,6 +157,14 @@ func (m *metrics) localFallback() {
 	m.localFalls++
 }
 
+// replicationShed records a submission refused under replication-lag
+// backpressure.
+func (m *metrics) replicationShed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replShed++
+}
+
 // stateCounts reads the queued/running gauges (used by worker heartbeats).
 func (m *metrics) stateCounts() (queued, running int) {
 	m.mu.Lock()
@@ -195,7 +204,20 @@ type durabilityStats struct {
 
 // write renders the exposition. Series are emitted in sorted order so the
 // output is deterministic and diffable.
-func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durabilityStats, cluster *ClusterStats) {
+// breakerValue maps a PeerStatus.Breaker name onto the gauge scale
+// (0 closed, 1 half-open, 2 open).
+func breakerValue(name string) int {
+	switch name {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durabilityStats, cluster *ClusterStats, chaos func() uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -294,6 +316,24 @@ func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durab
 		fmt.Fprintln(w, "# HELP slipd_local_fallbacks_total Jobs the coordinator executed in-process because no worker could take them.")
 		fmt.Fprintln(w, "# TYPE slipd_local_fallbacks_total counter")
 		fmt.Fprintf(w, "slipd_local_fallbacks_total %d\n", m.localFalls)
+
+		fmt.Fprintln(w, "# HELP slipd_replication_shed_total Submissions refused 503 because replication lagged every peer past the bound.")
+		fmt.Fprintln(w, "# TYPE slipd_replication_shed_total counter")
+		fmt.Fprintf(w, "slipd_replication_shed_total %d\n", m.replShed)
+
+		if len(cluster.Peers) > 0 {
+			fmt.Fprintln(w, "# HELP slipd_breaker_state Replication circuit breaker per peer (0 closed, 1 half-open, 2 open).")
+			fmt.Fprintln(w, "# TYPE slipd_breaker_state gauge")
+			for _, p := range cluster.Peers {
+				fmt.Fprintf(w, "slipd_breaker_state{peer=%q} %d\n", p.URL, breakerValue(p.Breaker))
+			}
+		}
+	}
+
+	if chaos != nil {
+		fmt.Fprintln(w, "# HELP slipd_chaos_injected_total Control-plane network faults manufactured by the netchaos layer in this process.")
+		fmt.Fprintln(w, "# TYPE slipd_chaos_injected_total counter")
+		fmt.Fprintf(w, "slipd_chaos_injected_total %d\n", chaos())
 	}
 
 	fmt.Fprintln(w, "# HELP slipd_jobs Jobs currently in each state.")

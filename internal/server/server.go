@@ -51,6 +51,10 @@ type Config struct {
 	// selection, failover, and hedging) and only falls back to local
 	// in-process execution when the backend reports ErrNoWorkers.
 	Cluster Cluster
+	// ChaosInjected, when set, is sampled by /metrics into the
+	// slipd_chaos_injected_total counter — the number of control-plane
+	// network faults the netchaos layer has manufactured in this process.
+	ChaosInjected func() uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -152,7 +156,20 @@ type submitResponse struct {
 var (
 	ErrDraining  = errors.New("server is draining")
 	ErrQueueFull = errors.New("job queue is full")
+	// ErrBackpressure marks a submission shed because replication to
+	// every peer coordinator is lagging past the configured bound —
+	// accepting new work would mean work only this node knows about.
+	ErrBackpressure = errors.New("replication lagging; new submissions shed")
 )
+
+// backpressureError carries the suggested retry delay alongside the
+// ErrBackpressure identity (errors.Is matches the sentinel).
+type backpressureError struct{ retryAfter time.Duration }
+
+func (e *backpressureError) Error() string {
+	return fmt.Sprintf("%v (retry in %s)", ErrBackpressure, e.retryAfter)
+}
+func (e *backpressureError) Unwrap() error { return ErrBackpressure }
 
 // SubmitOutcome reports how a submission was answered.
 type SubmitOutcome struct {
@@ -184,6 +201,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Retry-After tells well-behaved clients to back off instead of
 		// hammering.
 		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrBackpressure):
+		secs := 1
+		var bp *backpressureError
+		if errors.As(err, &bp) && bp.retryAfter > time.Second {
+			secs = int((bp.retryAfter + time.Second - 1) / time.Second)
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 		httpError(w, http.StatusServiceUnavailable, err)
 	case out.Dedup:
 		writeJSON(w, http.StatusOK, submitResponse{Job: view, Dedup: true})
@@ -268,6 +293,17 @@ func (s *Server) register(c *compiledSpec, key string) (JobView, SubmitOutcome, 
 		view := j.snapshot()
 		s.mu.Unlock()
 		return view, SubmitOutcome{Cached: true}, nil
+	}
+
+	// Replication-lag backpressure: a coordinator whose peers are all
+	// stale refuses brand-new work. Dedup and cache answers above stay
+	// free — they add no state that could be lost with this node.
+	if sh, ok := s.cfg.Cluster.(Shedder); ok {
+		if retry, shed := sh.ShedNewJobs(); shed {
+			s.mu.Unlock()
+			s.metrics.replicationShed()
+			return JobView{}, SubmitOutcome{}, &backpressureError{retryAfter: retry}
+		}
 	}
 
 	j := s.newJobLocked(key, c.spec, StateQueued)
@@ -406,7 +442,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, len(s.queue), s.cache.Stats(), s.durabilityStats(), s.clusterStats())
+	s.metrics.write(w, len(s.queue), s.cache.Stats(), s.durabilityStats(), s.clusterStats(), s.cfg.ChaosInjected)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
