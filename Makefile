@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race verify bench bench-check smoke smoke-fleet smoke-ha fuzz sim-cluster sim-cluster-deep
+.PHONY: build test test-short vet race verify bench bench-check smoke smoke-fleet smoke-ha smoke-overload fuzz sim-cluster sim-cluster-deep
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,7 @@ bench-check:
 # the go tool runs a single fuzz target at a time).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzCampaignSpec -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzParseEnv -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzPentaSolve -fuzztime 10s ./internal/npb
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/store
@@ -110,3 +111,13 @@ smoke-ha:
 	mkdir -p bin
 	$(GO) build -o bin/slipd ./cmd/slipd
 	$(GO) run ./tools/smokefleet bin/slipd ha
+
+# Overload drill: a rate-limited flood tenant is refused 429 with
+# Retry-After while a probe tenant's job completes untouched; a
+# halt-policy campaign deterministically skips its pending cell after a
+# mid-run cancellation; the probe result is byte-identical to the same
+# spec on an unloaded instance.
+smoke-overload:
+	mkdir -p bin
+	$(GO) build -o bin/slipd ./cmd/slipd
+	$(GO) run ./tools/smokeoverload bin/slipd

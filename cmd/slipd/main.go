@@ -87,7 +87,21 @@ func main() {
 		maxReplLag  = flag.Duration("max-replication-lag", 0, "coordinator: shed new jobs (503 + Retry-After) while every peer's replication lag exceeds this (0 = never shed)")
 		chaosSpec   = flag.String("chaos-spec", "", "inject seeded control-plane faults on this node's outbound fleet HTTP, e.g. drop=0.05,delay=0.1:1ms:20ms,dup=0.02,reorder=0.05,skew=50ms (testing only)")
 		chaosSeed   = flag.Uint64("chaos-seed", 1, "seed for -chaos-spec; one seed fully determines the fault schedule")
+
+		tenantWeight  = flag.Int("tenant-weight", 0, "default fair-queueing weight for tenants not named by -tenant (0 = 1)")
+		tenantRate    = flag.Float64("tenant-rate", 0, "default per-tenant admission rate in jobs/sec (0 = unlimited)")
+		tenantBurst   = flag.Float64("tenant-burst", 0, "default per-tenant admission burst (0 = max(rate, 1))")
+		tenantBacklog = flag.Int("tenant-backlog", 0, "default per-tenant queued-job bound; overflow is refused 429 (0 = unlimited)")
 	)
+	var tenants []server.TenantConfig
+	flag.Func("tenant", "declare a tenant as name:key[:weight[:rate[:burst[:backlog]]]] (repeatable); requests presenting the API key queue as this tenant", func(s string) error {
+		tc, err := parseTenant(s)
+		if err != nil {
+			return err
+		}
+		tenants = append(tenants, tc)
+		return nil
+	})
 	flag.Parse()
 	if *noPersist {
 		*dataDir = ""
@@ -112,6 +126,13 @@ func main() {
 		JobTimeout:  *jobTimeout,
 		DataDir:     *dataDir,
 		MaxAttempts: *maxAttempts,
+		Tenants:     tenants,
+		TenantDefaults: server.TenantLimits{
+			Weight:  *tenantWeight,
+			Rate:    *tenantRate,
+			Burst:   *tenantBurst,
+			Backlog: *tenantBacklog,
+		},
 	}
 	fleet := fleetConfig{
 		coordinator: *coordinator,
@@ -157,6 +178,44 @@ type fleetConfig struct {
 	maxReplLag  time.Duration
 	chaosSpec   string
 	chaosSeed   uint64
+}
+
+// parseTenant parses one -tenant value: name:key[:weight[:rate[:burst[:backlog]]]].
+// Omitted numeric fields take the -tenant-* defaults (zero values).
+func parseTenant(s string) (server.TenantConfig, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 6 {
+		return server.TenantConfig{}, fmt.Errorf("tenant %q: want name:key[:weight[:rate[:burst[:backlog]]]]", s)
+	}
+	tc := server.TenantConfig{Name: strings.TrimSpace(parts[0]), Key: strings.TrimSpace(parts[1])}
+	if tc.Name == "" {
+		return server.TenantConfig{}, fmt.Errorf("tenant %q: empty name", s)
+	}
+	if tc.Key == "" && tc.Name != server.DefaultTenant {
+		return server.TenantConfig{}, fmt.Errorf("tenant %q: empty API key (only %q may omit it)", s, server.DefaultTenant)
+	}
+	var err error
+	if len(parts) > 2 && parts[2] != "" {
+		if _, err = fmt.Sscanf(parts[2], "%d", &tc.Weight); err != nil {
+			return server.TenantConfig{}, fmt.Errorf("tenant %q: bad weight %q", s, parts[2])
+		}
+	}
+	if len(parts) > 3 && parts[3] != "" {
+		if _, err = fmt.Sscanf(parts[3], "%g", &tc.Rate); err != nil {
+			return server.TenantConfig{}, fmt.Errorf("tenant %q: bad rate %q", s, parts[3])
+		}
+	}
+	if len(parts) > 4 && parts[4] != "" {
+		if _, err = fmt.Sscanf(parts[4], "%g", &tc.Burst); err != nil {
+			return server.TenantConfig{}, fmt.Errorf("tenant %q: bad burst %q", s, parts[4])
+		}
+	}
+	if len(parts) > 5 && parts[5] != "" {
+		if _, err = fmt.Sscanf(parts[5], "%d", &tc.Backlog); err != nil {
+			return server.TenantConfig{}, fmt.Errorf("tenant %q: bad backlog %q", s, parts[5])
+		}
+	}
+	return tc, nil
 }
 
 // splitURLs parses a comma-separated URL list, trimming blanks and

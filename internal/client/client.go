@@ -1,7 +1,9 @@
 // Package client is a Go client for the slipd HTTP API with the retry
 // discipline a durable server deserves: exponential backoff with jitter
 // on transport errors and 5xx responses, Retry-After honored on 503
-// shed/drain responses, context-aware polling, endpoint failover across
+// shed/drain responses and on tenant-limit 429 refusals (which retry
+// without penalizing the endpoint — the refusal is the caller's, not
+// the server's), context-aware polling, endpoint failover across
 // a list of coordinator replicas, and resume-by-cache-key — a client
 // that reconnects after a server (or coordinator) restart picks its
 // result up from the content-addressed store instead of re-running the
@@ -42,6 +44,10 @@ type Config struct {
 	// rotates to the next endpoint before retrying, so a fleet fronted
 	// by more than one coordinator keeps answering while one is down.
 	Endpoints []string
+	// APIKey identifies the caller's tenant to the server's admission
+	// layer; it is sent as X-API-Key on every request. Empty means the
+	// shared default tenant.
+	APIKey string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
 	// MaxRetries bounds transient-failure retries per request (default 6).
@@ -305,8 +311,9 @@ type SubmitResult struct {
 
 // Submit posts a job spec (anything JSON-marshalable; json.RawMessage
 // and []byte pass through verbatim) and returns the server's envelope.
-// Transient failures — connection errors, 5xx, queue-full 503 with
-// Retry-After — are retried; 4xx validation errors are permanent.
+// Transient failures — connection errors, 5xx, queue-full 503 and
+// tenant-limit 429 with Retry-After — are retried; other 4xx
+// validation errors are permanent.
 func (c *Client) Submit(ctx context.Context, spec any) (*SubmitResult, error) {
 	body, err := specBody(spec)
 	if err != nil {
@@ -486,13 +493,17 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte) ([]by
 }
 
 // doRetry performs one API request with the transient-failure policy:
-// transport errors, 5xx and 503-with-Retry-After are retried under
-// exponential backoff with jitter; everything else returns as-is. Each
-// failed attempt feeds the endpoint's breaker and rotates to the next
-// configured endpoint. Retries draw on the client-wide token budget —
-// when it is dry the call fails fast — and a backoff that cannot finish
-// before the context deadline fails fast too, surfacing the real error
-// instead of a context timeout from inside a pointless sleep.
+// transport errors, 5xx, 503-with-Retry-After, and tenant-limit 429s
+// are retried under exponential backoff with jitter; everything else
+// returns as-is. Each failed attempt feeds the endpoint's breaker and
+// rotates to the next configured endpoint — except 429, which says the
+// *caller* is over its admission limits while the endpoint is
+// perfectly healthy, so the client honors Retry-After (or backs off)
+// without penalizing or abandoning the endpoint. Retries draw on the
+// client-wide token budget — when it is dry the call fails fast — and
+// a backoff that cannot finish before the context deadline fails fast
+// too, surfacing the real error instead of a context timeout from
+// inside a pointless sleep.
 func (c *Client) doRetry(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -502,9 +513,17 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte) 
 		ep, idx := c.pick()
 		data, status, ra, err := c.do(ctx, ep, method, path, body)
 		delay := time.Duration(-1)
+		limited := false
 		switch {
 		case err != nil:
 			lastErr = err
+		case status == http.StatusTooManyRequests:
+			lastErr = apiError(method+" "+path, status, data)
+			limited = true
+			if ra >= 0 {
+				// The server said when this tenant's bucket refills.
+				delay = ra
+			}
 		case status >= 500:
 			lastErr = apiError(method+" "+path, status, data)
 			if status == http.StatusServiceUnavailable && ra >= 0 {
@@ -516,8 +535,12 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte) 
 			c.refundToken()
 			return data, status, nil
 		}
-		c.observe(idx, true)
-		c.rotate()
+		if limited {
+			c.observe(idx, false) // the endpoint answered; the refusal is ours
+		} else {
+			c.observe(idx, true)
+			c.rotate()
+		}
 		if attempt >= c.cfg.MaxRetries {
 			return nil, 0, fmt.Errorf("giving up after %d retries: %w", c.cfg.MaxRetries, lastErr)
 		}
@@ -550,6 +573,9 @@ func (c *Client) do(ctx context.Context, ep, method, path string, body []byte) (
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.cfg.APIKey != "" {
+		req.Header.Set("X-API-Key", c.cfg.APIKey)
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {

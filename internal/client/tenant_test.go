@@ -1,0 +1,100 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitRetries429WithRetryAfter: a tenant-limit 429 is a transient
+// refusal — the client waits out the server's Retry-After and resubmits
+// instead of failing or rotating away from a healthy endpoint.
+func TestSubmitRetries429WithRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get("X-API-Key"); got != "sk-test" {
+			t.Errorf("X-API-Key = %q, want sk-test", got)
+		}
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"tenant over rate limit"}`)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"job":%s}`, jobJSON("job-9", "queued"))
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, APIKey: "sk-test"})
+	sleeps := recordedSleeps(c)
+	sr, err := c.Submit(context.Background(), json.RawMessage(`{"kind":"run","kernel":"CG"}`))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if sr.Job.ID != "job-9" || calls.Load() != 3 {
+		t.Fatalf("job %q after %d calls", sr.Job.ID, calls.Load())
+	}
+	if len(*sleeps) != 2 || (*sleeps)[0] != 3*time.Second || (*sleeps)[1] != 3*time.Second {
+		t.Fatalf("sleeps = %v, want two 3s waits from Retry-After", *sleeps)
+	}
+}
+
+// TestSubmit429DoesNotRotateEndpoints: admission refusals are the
+// caller's problem, not the endpoint's — the client must keep talking
+// to the same replica rather than spreading the flood fleet-wide or
+// tripping its breaker.
+func TestSubmit429DoesNotRotateEndpoints(t *testing.T) {
+	var aCalls, bCalls atomic.Int64
+	handler := func(calls *atomic.Int64) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) <= 3 {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusTooManyRequests)
+				fmt.Fprint(w, `{"error":"tenant backlog full"}`)
+				return
+			}
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprintf(w, `{"job":%s}`, jobJSON("job-1", "queued"))
+		}
+	}
+	a := httptest.NewServer(handler(&aCalls))
+	defer a.Close()
+	b := httptest.NewServer(handler(&bCalls))
+	defer b.Close()
+
+	// BreakerFailures 2 would open the endpoint if 429s counted as
+	// endpoint failures.
+	c := New(Config{Endpoints: []string{a.URL, b.URL}, BreakerFailures: 2})
+	recordedSleeps(c)
+	if _, err := c.Submit(context.Background(), json.RawMessage(`{"kind":"run","kernel":"CG"}`)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if aCalls.Load() != 4 || bCalls.Load() != 0 {
+		t.Fatalf("calls a=%d b=%d; 429s must not rotate away from the first endpoint", aCalls.Load(), bCalls.Load())
+	}
+}
+
+// TestSubmit429GivesUpAfterMaxRetries: a tenant limited past the retry
+// horizon surfaces the 429 error instead of looping forever.
+func TestSubmit429GivesUpAfterMaxRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"tenant over rate limit"}`)
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: 2})
+	recordedSleeps(c)
+	_, err := c.Submit(context.Background(), json.RawMessage(`{"kind":"run","kernel":"CG"}`))
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("err = %v, want surfaced 429", err)
+	}
+}

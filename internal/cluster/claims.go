@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/server"
 	"repro/internal/store"
 )
 
@@ -36,6 +37,8 @@ type ResultSource interface {
 type claimEntry struct {
 	key          string
 	label        string
+	tenant       string // admitting tenant, carried for observability and journals
+	priority     int    // scheduling class; Claim serves higher classes first
 	spec         json.RawMessage
 	state        string // pending | claimed | done | failed
 	claimedBy    string
@@ -69,6 +72,8 @@ type ClaimCounters struct {
 type ClaimView struct {
 	Key       string `json:"key"`
 	Label     string `json:"label"`
+	Tenant    string `json:"tenant,omitempty"`
+	Priority  string `json:"priority,omitempty"`
 	State     string `json:"state"`
 	ClaimedBy string `json:"claimed_by,omitempty"`
 	Attempt   int    `json:"claim_attempt"`
@@ -147,6 +152,8 @@ func (e *claimEntry) record() store.Record {
 		Job:          "claim-" + e.key[:16],
 		Key:          e.key,
 		Label:        e.label,
+		Tenant:       e.tenant,
+		Priority:     server.PriorityName(e.priority),
 		State:        e.state,
 		Error:        e.errMsg,
 		Spec:         e.spec,
@@ -165,10 +172,18 @@ func (e *claimEntry) record() store.Record {
 // the result immediately); done-without-bytes or failed entries are
 // resurrected to pending — the bytes are gone or the failure may have
 // been transient across a restart, and re-execution is free.
-func (t *ClaimTable) Enqueue(key, label string, spec json.RawMessage) <-chan struct{} {
+func (t *ClaimTable) Enqueue(key, label, tenant string, priority int, spec json.RawMessage) <-chan struct{} {
 	t.mu.Lock()
 	e, ok := t.entries[key]
 	if ok {
+		// Joiners refresh admission identity: a later, higher-priority
+		// submission of the same key pulls the claim forward.
+		if tenant != "" {
+			e.tenant = tenant
+		}
+		if priority > e.priority {
+			e.priority = priority
+		}
 		if e.state == ClaimDone && len(e.result) > 0 {
 			ch := e.done
 			t.mu.Unlock()
@@ -198,11 +213,13 @@ func (t *ClaimTable) Enqueue(key, label string, spec json.RawMessage) <-chan str
 		return ch
 	}
 	e = &claimEntry{
-		key:   key,
-		label: label,
-		spec:  spec,
-		state: ClaimPending,
-		done:  make(chan struct{}),
+		key:      key,
+		label:    label,
+		tenant:   tenant,
+		priority: priority,
+		spec:     spec,
+		state:    ClaimPending,
+		done:     make(chan struct{}),
 	}
 	t.entries[key] = e
 	t.order = append(t.order, key)
@@ -214,26 +231,31 @@ func (t *ClaimTable) Enqueue(key, label string, spec json.RawMessage) <-chan str
 	return ch
 }
 
-// Claim hands worker the oldest claimable job, if any: a pending entry,
+// Claim hands worker the best claimable job, if any: a pending entry,
 // a claimed entry whose lease expired, or a hedgeable entry held by a
-// different worker. The grant bumps the attempt; a lease that would
-// exceed the attempt budget settles the entry as failed instead (hedge
-// grants just skip — the primary lease is still live).
+// different worker. Higher priority classes are served first; within a
+// class the oldest claimable entry wins, so fleet dispatch preserves
+// the coordinator's fair-scheduler ordering. The grant bumps the
+// attempt; a lease that would exceed the attempt budget settles the
+// entry as failed instead (hedge grants just skip — the primary lease
+// is still live).
 func (t *ClaimTable) Claim(worker string) (ClaimGrant, bool) {
 	now := t.now()
 	t.mu.Lock()
 	var recs []store.Record
 	var failedAny bool
+	var best *claimEntry
+	bestHedge, bestExpired := false, false
 	for _, key := range t.order {
 		e := t.entries[key]
 		if e == nil || e.terminal() {
 			continue
 		}
-		hedge := false
+		hedge, expired := false, false
 		switch {
 		case e.state == ClaimPending:
 		case e.state == ClaimClaimed && now.After(e.expires):
-			t.ctr.Expirations++
+			expired = true
 		case e.state == ClaimClaimed && e.hedged && e.claimedBy != worker:
 			hedge = true
 		default:
@@ -242,6 +264,9 @@ func (t *ClaimTable) Claim(worker string) (ClaimGrant, bool) {
 		if e.attempt+1 > t.maxAttempts {
 			if hedge {
 				continue // primary lease still live; just don't hedge
+			}
+			if expired {
+				t.ctr.Expirations++
 			}
 			e.state = ClaimFailed
 			e.errMsg = fmt.Sprintf("claim attempts exhausted (%d)", e.attempt)
@@ -254,33 +279,44 @@ func (t *ClaimTable) Claim(worker string) (ClaimGrant, bool) {
 			failedAny = true
 			continue
 		}
-		e.attempt++
-		e.state = ClaimClaimed
-		e.claimedBy = worker
-		e.expires = now.Add(t.lease)
-		if hedge {
-			e.hedged = false
-			e.hedgeAttempt = e.attempt
-			t.ctr.Contention++
+		if best == nil || e.priority > best.priority {
+			best, bestHedge, bestExpired = e, hedge, expired
 		}
-		t.ctr.Granted++
-		grant := ClaimGrant{
-			Key:     e.key,
-			Label:   e.label,
-			Spec:    e.spec,
-			Attempt: e.attempt,
-			LeaseMs: t.lease.Milliseconds(),
-		}
-		recs = append(recs, e.record())
+	}
+	if best == nil {
 		t.mu.Unlock()
-		t.changed(recs, failedAny)
-		return grant, true
+		if len(recs) > 0 {
+			t.changed(recs, failedAny)
+		}
+		return ClaimGrant{}, false
 	}
+	e := best
+	if bestExpired {
+		t.ctr.Expirations++
+	}
+	e.attempt++
+	e.state = ClaimClaimed
+	e.claimedBy = worker
+	e.expires = now.Add(t.lease)
+	if bestHedge {
+		e.hedged = false
+		e.hedgeAttempt = e.attempt
+		t.ctr.Contention++
+	}
+	t.ctr.Granted++
+	grant := ClaimGrant{
+		Key:      e.key,
+		Label:    e.label,
+		Tenant:   e.tenant,
+		Priority: e.priority,
+		Spec:     e.spec,
+		Attempt:  e.attempt,
+		LeaseMs:  t.lease.Milliseconds(),
+	}
+	recs = append(recs, e.record())
 	t.mu.Unlock()
-	if len(recs) > 0 {
-		t.changed(recs, failedAny)
-	}
-	return ClaimGrant{}, false
+	t.changed(recs, failedAny)
+	return grant, true
 }
 
 // Renew extends worker's lease on key. It succeeds only while the lease
@@ -431,6 +467,8 @@ func (t *ClaimTable) Snapshot() []ClaimRecord {
 		r := ClaimRecord{
 			Key:       e.key,
 			Label:     e.label,
+			Tenant:    e.tenant,
+			Priority:  e.priority,
 			Spec:      e.spec,
 			State:     e.state,
 			ClaimedBy: e.claimedBy,
@@ -469,17 +507,27 @@ func (t *ClaimTable) Merge(records []ClaimRecord) {
 		e, ok := t.entries[in.Key]
 		if !ok {
 			e = &claimEntry{
-				key:   in.Key,
-				label: in.Label,
-				spec:  in.Spec,
-				state: ClaimPending,
-				done:  make(chan struct{}),
+				key:      in.Key,
+				label:    in.Label,
+				tenant:   in.Tenant,
+				priority: in.Priority,
+				spec:     in.Spec,
+				state:    ClaimPending,
+				done:     make(chan struct{}),
 			}
 			t.entries[in.Key] = e
 			t.order = append(t.order, in.Key)
 		}
 		if len(e.spec) == 0 && len(in.Spec) > 0 {
 			e.spec = in.Spec
+		}
+		if e.tenant == "" {
+			e.tenant = in.Tenant
+		}
+		if in.Priority > e.priority {
+			// Priority converges on the max both peers have seen, the same
+			// commutative rule joiners apply locally.
+			e.priority = in.Priority
 		}
 		inTerminal := in.State == ClaimDone || in.State == ClaimFailed
 		switch {
@@ -585,6 +633,8 @@ func (t *ClaimTable) seed(records []store.Record) {
 		e := &claimEntry{
 			key:       r.Key,
 			label:     r.Label,
+			tenant:    r.Tenant,
+			priority:  server.PriorityValue(r.Priority),
 			spec:      r.Spec,
 			state:     r.State,
 			claimedBy: r.ClaimedBy,
@@ -633,6 +683,8 @@ func (t *ClaimTable) Views() []ClaimView {
 		v := ClaimView{
 			Key:       e.key,
 			Label:     e.label,
+			Tenant:    e.tenant,
+			Priority:  server.PriorityName(e.priority),
 			State:     e.state,
 			ClaimedBy: e.claimedBy,
 			Attempt:   e.attempt,

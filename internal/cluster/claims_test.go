@@ -23,7 +23,7 @@ func testTable(lease time.Duration, maxAttempts int) (*ClaimTable, *fakeClock) {
 func TestClaimLifecycle(t *testing.T) {
 	tb, _ := testTable(10*time.Second, 3)
 	key := claimKey(1)
-	done := tb.Enqueue(key, "run/CG", json.RawMessage(`{"kind":"run"}`))
+	done := tb.Enqueue(key, "run/CG", "default", 0, json.RawMessage(`{"kind":"run"}`))
 
 	g, ok := tb.Claim("w1")
 	if !ok {
@@ -60,7 +60,7 @@ func TestClaimLifecycle(t *testing.T) {
 	}
 
 	// Re-enqueueing a done entry with bytes returns a closed channel.
-	again := tb.Enqueue(key, "run/CG", nil)
+	again := tb.Enqueue(key, "run/CG", "default", 0, nil)
 	select {
 	case <-again:
 	default:
@@ -74,7 +74,7 @@ func TestClaimLifecycle(t *testing.T) {
 func TestExpiredLeaseReclaimedExactlyOnce(t *testing.T) {
 	tb, clk := testTable(time.Second, 10)
 	key := claimKey(2)
-	tb.Enqueue(key, "run/CG", nil)
+	tb.Enqueue(key, "run/CG", "default", 0, nil)
 	if g, ok := tb.Claim("w0"); !ok || g.Attempt != 1 {
 		t.Fatalf("first claim: ok=%v grant=%+v", ok, g)
 	}
@@ -114,7 +114,7 @@ func TestExpiredLeaseReclaimedExactlyOnce(t *testing.T) {
 func TestClaimAttemptMonotonicAndBudget(t *testing.T) {
 	tb, clk := testTable(time.Second, 3)
 	key := claimKey(3)
-	done := tb.Enqueue(key, "run/CG", nil)
+	done := tb.Enqueue(key, "run/CG", "default", 0, nil)
 
 	// Burn the whole budget through expiry reclaims; the attempt must
 	// climb strictly, never repeat or regress.
@@ -150,7 +150,7 @@ func TestClaimAttemptMonotonicAndBudget(t *testing.T) {
 func TestDoubleTerminalCollapse(t *testing.T) {
 	tb, clk := testTable(time.Second, 5)
 	key := claimKey(4)
-	tb.Enqueue(key, "run/CG", nil)
+	tb.Enqueue(key, "run/CG", "default", 0, nil)
 	tb.Claim("slow") // attempt 1
 	clk.advance(2 * time.Second)
 	tb.Claim("fast") // attempt 2 reclaims
@@ -177,7 +177,7 @@ func TestDoubleTerminalCollapse(t *testing.T) {
 func TestSupersededReportStillWins(t *testing.T) {
 	tb, clk := testTable(time.Second, 5)
 	key := claimKey(5)
-	tb.Enqueue(key, "run/CG", nil)
+	tb.Enqueue(key, "run/CG", "default", 0, nil)
 	tb.Claim("slow")
 	clk.advance(2 * time.Second)
 	tb.Claim("fast")
@@ -194,7 +194,7 @@ func TestSupersededReportStillWins(t *testing.T) {
 func TestHedgeOpensSecondClaim(t *testing.T) {
 	tb, _ := testTable(10*time.Second, 5)
 	key := claimKey(6)
-	tb.Enqueue(key, "run/CG", nil)
+	tb.Enqueue(key, "run/CG", "default", 0, nil)
 	tb.Claim("primary")
 
 	if !tb.MarkHedgeable(key) {
@@ -223,9 +223,9 @@ func TestHedgeOpensSecondClaim(t *testing.T) {
 func TestSweepLeasesRePendsAndPrunes(t *testing.T) {
 	tb, clk := testTable(time.Second, 5)
 	expiredKey, doneKey := claimKey(7), claimKey(8)
-	tb.Enqueue(expiredKey, "run/CG", nil)
+	tb.Enqueue(expiredKey, "run/CG", "default", 0, nil)
 	tb.Claim("w1")
-	tb.Enqueue(doneKey, "run/CG", nil)
+	tb.Enqueue(doneKey, "run/CG", "default", 0, nil)
 	tb.Claim("w2")
 	tb.Report("w2", doneKey, 1, ClaimDone, []byte("B"), "")
 
@@ -268,7 +268,7 @@ func TestMergePrecedence(t *testing.T) {
 
 	// An incoming terminal state settles the local entry (without
 	// recounting: the peer already counted the settle).
-	done := tb.Enqueue(k1, "run/CG", nil)
+	done := tb.Enqueue(k1, "run/CG", "default", 0, nil)
 	tb.Merge([]ClaimRecord{{Key: k1, Label: "run/CG", State: ClaimDone, Attempt: 3, Result: []byte("PEER-BYTES")}})
 	select {
 	case <-done:
@@ -321,12 +321,12 @@ func TestMergePrecedence(t *testing.T) {
 func TestEnqueueResurrectsFailedClaim(t *testing.T) {
 	tb, _ := testTable(10*time.Second, 1)
 	key := claimKey(13)
-	tb.Enqueue(key, "run/CG", nil)
+	tb.Enqueue(key, "run/CG", "default", 0, nil)
 	tb.Claim("w1")
 	tb.Report("w1", key, 1, ClaimFailed, nil, "transient crash")
 
 	// A fresh submission gets a fresh claim with a reset budget.
-	done := tb.Enqueue(key, "run/CG", nil)
+	done := tb.Enqueue(key, "run/CG", "default", 0, nil)
 	select {
 	case <-done:
 		t.Fatal("resurrected claim came back already settled")

@@ -377,7 +377,7 @@ func (co *Coordinator) Handler() http.Handler {
 // past the per-label hedge threshold is opened to a second claimant,
 // first terminal result wins. Returns server.ErrNoWorkers when the
 // fleet is empty (the server then executes locally in degraded mode).
-func (co *Coordinator) Dispatch(ctx context.Context, key, label string, spec server.JobSpec, progress io.Writer) ([]byte, error) {
+func (co *Coordinator) Dispatch(ctx context.Context, key, label, tenant string, priority int, spec server.JobSpec, progress io.Writer) ([]byte, error) {
 	if live, suspect, _ := co.reg.counts(); live+suspect == 0 {
 		return nil, server.ErrNoWorkers
 	}
@@ -386,7 +386,7 @@ func (co *Coordinator) Dispatch(ctx context.Context, key, label string, spec ser
 		return nil, fmt.Errorf("marshal spec for claim: %w", err)
 	}
 	start := co.cfg.Now()
-	done := co.table.Enqueue(key, label, specJSON)
+	done := co.table.Enqueue(key, label, tenant, priority, specJSON)
 	fmt.Fprintf(progress, "cluster: enqueued for claim (key %s…)\n", key[:12])
 
 	// Arm the hedge timer if we have a straggler threshold for this label.

@@ -76,7 +76,7 @@ func reportClaim(t *testing.T, coURL string, rep ClaimReport) bool {
 func TestDispatchNoWorkers(t *testing.T) {
 	co := NewCoordinator(fastCfg(newFakeClock()))
 	defer co.Close()
-	_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	_, err := co.Dispatch(context.Background(), testKey, "run/CG", "default", 0, server.JobSpec{}, io.Discard)
 	if !errors.Is(err, server.ErrNoWorkers) {
 		t.Fatalf("Dispatch with empty registry: %v, want ErrNoWorkers", err)
 	}
@@ -96,7 +96,7 @@ func TestDispatchClaimRoundTrip(t *testing.T) {
 	}
 	done := make(chan res, 1)
 	go func() {
-		b, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+		b, err := co.Dispatch(context.Background(), testKey, "run/CG", "default", 0, server.JobSpec{}, io.Discard)
 		done <- res{b, err}
 	}()
 
@@ -142,7 +142,7 @@ func TestDispatchDeterministicFailurePropagates(t *testing.T) {
 
 	errc := make(chan error, 1)
 	go func() {
-		_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+		_, err := co.Dispatch(context.Background(), testKey, "run/CG", "default", 0, server.JobSpec{}, io.Discard)
 		errc <- err
 	}()
 	waitFor(t, 10*time.Second, func() bool {
@@ -177,7 +177,7 @@ func TestDispatchHedgeWins(t *testing.T) {
 	}
 	done := make(chan res, 1)
 	go func() {
-		b, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+		b, err := co.Dispatch(context.Background(), testKey, "run/CG", "default", 0, server.JobSpec{}, io.Discard)
 		done <- res{b, err}
 	}()
 
@@ -237,7 +237,7 @@ func TestClaimLongPollWakes(t *testing.T) {
 		}
 	}()
 	time.Sleep(50 * time.Millisecond) // let the poll park
-	co.table.Enqueue(testKey, "run/CG", nil)
+	co.table.Enqueue(testKey, "run/CG", "default", 0, nil)
 
 	select {
 	case g := <-got:
@@ -273,7 +273,7 @@ func TestClaimerVersionSkew(t *testing.T) {
 	})
 	defer c.Stop()
 
-	_, err := co.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	_, err := co.Dispatch(context.Background(), testKey, "run/CG", "default", 0, server.JobSpec{}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "version skew") {
 		t.Fatalf("Dispatch err = %v, want version-skew failure", err)
 	}
@@ -580,7 +580,7 @@ func TestTwoCoordinatorFailover(t *testing.T) {
 	}, "peered coordinators never became healthy")
 
 	// The job enters A's claim table and w1 claims it from A.
-	go coA.Dispatch(context.Background(), testKey, "run/CG", server.JobSpec{}, io.Discard)
+	go coA.Dispatch(context.Background(), testKey, "run/CG", "default", 0, server.JobSpec{}, io.Discard)
 	waitFor(t, 10*time.Second, func() bool {
 		_, ok := claimOnce(t, tsA.URL, "w1", 50)
 		return ok

@@ -88,7 +88,7 @@ func TestSkewedPeerHonorsRenewedLease(t *testing.T) {
 	skewTbl := newClaimTable(skewClk.now, lease, 5)
 
 	key := claimKey(7)
-	holderDone := holderTbl.Enqueue(key, "run/CG", []byte(`{"kind":"run"}`))
+	holderDone := holderTbl.Enqueue(key, "run/CG", "default", 0, []byte(`{"kind":"run"}`))
 	g, ok := holderTbl.Claim("w1")
 	if !ok || g.Attempt != 1 {
 		t.Fatalf("grant = %+v ok=%v", g, ok)
@@ -130,7 +130,7 @@ func TestSkewedPeerHonorsRenewedLease(t *testing.T) {
 	// Control: once the holder stops renewing, the skewed peer MUST
 	// eventually reclaim — skew tolerance is not lease immortality.
 	key2 := claimKey(8)
-	holderTbl.Enqueue(key2, "run/CG", []byte(`{"kind":"run"}`))
+	holderTbl.Enqueue(key2, "run/CG", "default", 0, []byte(`{"kind":"run"}`))
 	if _, ok := holderTbl.Claim("w1"); !ok {
 		t.Fatal("second grant refused")
 	}

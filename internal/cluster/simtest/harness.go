@@ -534,7 +534,7 @@ func (h *harness) submit(job, firstCo int, deadline time.Time) {
 			time.Sleep(2 * time.Millisecond)
 			continue
 		}
-		result, err := co.Dispatch(ctx, key, "sim", spec, io.Discard)
+		result, err := co.Dispatch(ctx, key, "sim", "default", 0, spec, io.Discard)
 		switch {
 		case err == nil:
 			if !bytes.Equal(result, want) {

@@ -34,6 +34,7 @@ const (
 	maxClaimWait  = 60_000   // longest long-poll hold a worker may request, ms
 	maxAttemptNum = 1 << 20  // claim attempts beyond this are nonsense
 	maxBatchRecs  = 4096     // claim records per replication batch
+	maxPriority   = 8        // priority classes beyond this are nonsense
 )
 
 // Register announces a worker to the coordinator: who it is, where its
@@ -144,11 +145,13 @@ func (c ClaimRequest) Validate() error {
 // version-skewed fleet fails loudly instead of caching bytes under the
 // wrong identity.
 type ClaimGrant struct {
-	Key     string          `json:"key"`
-	Label   string          `json:"label"`
-	Spec    json.RawMessage `json:"spec"`
-	Attempt int             `json:"claim_attempt"`
-	LeaseMs int64           `json:"lease_ms"`
+	Key      string          `json:"key"`
+	Label    string          `json:"label"`
+	Tenant   string          `json:"tenant,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	Spec     json.RawMessage `json:"spec"`
+	Attempt  int             `json:"claim_attempt"`
+	LeaseMs  int64           `json:"lease_ms"`
 }
 
 // Validate applies the wire bounds (the spec's content is validated by
@@ -162,6 +165,12 @@ func (g ClaimGrant) Validate() error {
 	}
 	if len(g.Spec) == 0 {
 		return fmt.Errorf("grant: missing spec")
+	}
+	if len(g.Tenant) > maxIDLen {
+		return fmt.Errorf("grant: tenant length %d exceeds %d", len(g.Tenant), maxIDLen)
+	}
+	if g.Priority < 0 || g.Priority > maxPriority {
+		return fmt.Errorf("grant: priority %d outside [0, %d]", g.Priority, maxPriority)
 	}
 	if g.Attempt < 1 || g.Attempt > maxAttemptNum {
 		return fmt.Errorf("grant: claim_attempt %d outside [1, %d]", g.Attempt, maxAttemptNum)
@@ -253,6 +262,8 @@ type ReportAck struct {
 type ClaimRecord struct {
 	Key       string          `json:"key"`
 	Label     string          `json:"label"`
+	Tenant    string          `json:"tenant,omitempty"`
+	Priority  int             `json:"priority,omitempty"`
 	Spec      json.RawMessage `json:"spec,omitempty"`
 	State     string          `json:"state"`
 	ClaimedBy string          `json:"claimed_by,omitempty"`
@@ -272,6 +283,12 @@ func (c ClaimRecord) Validate() error {
 	}
 	if !validClaimState(c.State) {
 		return fmt.Errorf("claim record: unknown state %q", c.State)
+	}
+	if len(c.Tenant) > maxIDLen {
+		return fmt.Errorf("claim record: tenant length %d exceeds %d", len(c.Tenant), maxIDLen)
+	}
+	if c.Priority < 0 || c.Priority > maxPriority {
+		return fmt.Errorf("claim record: priority %d outside [0, %d]", c.Priority, maxPriority)
 	}
 	if c.Attempt < 0 || c.Attempt > maxAttemptNum {
 		return fmt.Errorf("claim record: claim_attempt %d outside [0, %d]", c.Attempt, maxAttemptNum)

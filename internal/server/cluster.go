@@ -67,10 +67,12 @@ type ClusterStats struct {
 
 // Cluster is the dispatch backend a coordinator plugs into Config. The
 // server calls Dispatch from its worker goroutines with the job's cache
-// key, metrics label, and normalized spec; progress lines written to
-// progress reach the job's SSE subscribers.
+// key, metrics label, admission identity (tenant and priority class, so
+// claims preserve fair-scheduling order fleet-wide), and normalized
+// spec; progress lines written to progress reach the job's SSE
+// subscribers.
 type Cluster interface {
-	Dispatch(ctx context.Context, key, label string, spec JobSpec, progress io.Writer) ([]byte, error)
+	Dispatch(ctx context.Context, key, label, tenant string, priority int, spec JobSpec, progress io.Writer) ([]byte, error)
 	Stats() ClusterStats
 }
 
@@ -89,7 +91,7 @@ func (s *Server) executeOrDispatch(ctx context.Context, c *compiledSpec, j *Job)
 	if s.cfg.Cluster == nil {
 		return s.executeGuarded(ctx, c, j)
 	}
-	result, err := s.cfg.Cluster.Dispatch(ctx, j.Key, c.label(), c.spec, j.broker)
+	result, err := s.cfg.Cluster.Dispatch(ctx, j.Key, c.label(), j.tenant, j.priority, c.spec, j.broker)
 	if errors.Is(err, ErrNoWorkers) {
 		s.metrics.localFallback()
 		fmt.Fprintf(j.broker, "cluster: no live workers; executing locally in degraded mode\n")

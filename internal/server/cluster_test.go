@@ -12,14 +12,16 @@ import (
 // fakeCluster scripts the dispatch backend: it either answers with fixed
 // bytes or reports no workers, and counts how often it was asked.
 type fakeCluster struct {
-	bytes     []byte
-	noWorkers bool
-	degraded  bool
-	calls     atomic.Int64
+	bytes      []byte
+	noWorkers  bool
+	degraded   bool
+	calls      atomic.Int64
+	lastTenant atomic.Value // string: tenant of the last dispatch
 }
 
-func (f *fakeCluster) Dispatch(ctx context.Context, key, label string, spec JobSpec, progress io.Writer) ([]byte, error) {
+func (f *fakeCluster) Dispatch(ctx context.Context, key, label, tenant string, priority int, spec JobSpec, progress io.Writer) ([]byte, error) {
 	f.calls.Add(1)
+	f.lastTenant.Store(tenant)
 	if f.noWorkers {
 		return nil, ErrNoWorkers
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/store"
@@ -36,13 +37,14 @@ const maxRequeueBackoff = 30 * time.Second
 func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    newLRUCache(cfg.CacheBytes),
-		metrics:  newMetrics(),
-		jobs:     map[string]*Job{},
-		inflight: map[string]*Job{},
-		queue:    make(chan *Job, cfg.QueueDepth),
-		quit:     make(chan struct{}),
+		cfg:       cfg,
+		cache:     newLRUCache(cfg.CacheBytes),
+		metrics:   newMetrics(),
+		jobs:      map[string]*Job{},
+		inflight:  map[string]*Job{},
+		campaigns: map[string]*campaign{},
+		sched:     newScheduler(cfg, time.Now),
+		quit:      make(chan struct{}),
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	if cfg.DataDir != "" {
@@ -71,7 +73,19 @@ func Open(cfg Config) (*Server, error) {
 // settle as failed). Runs before the workers start and before the
 // handler is reachable, so /readyz turning 200 means replay is complete.
 func (s *Server) replay(recs []store.Record) {
+	// Jobs first, then campaigns: a campaign rebuild reattaches to the
+	// requeued jobs (via the in-flight index) and the cache entries the
+	// job pass restored.
+	var campRecs, cellRecs []store.Record
 	for _, r := range recs {
+		if r.Campaign != "" && r.Job == r.Campaign {
+			campRecs = append(campRecs, r)
+			continue
+		}
+		if r.Campaign != "" && strings.HasPrefix(r.Job, r.Campaign+"/") {
+			cellRecs = append(cellRecs, r)
+			continue
+		}
 		s.noteJobID(r.Job)
 		switch r.State {
 		case string(StateDone):
@@ -82,6 +96,7 @@ func (s *Server) replay(recs []store.Record) {
 			s.requeue(r)
 		}
 	}
+	s.rebuildCampaigns(campRecs, cellRecs)
 }
 
 // noteJobID keeps nextID ahead of every journaled id so new submissions
@@ -118,6 +133,10 @@ func (s *Server) restoreTerminal(r store.Record, st State, errMsg string, result
 	}
 	j := newJob(r.Job, r.Key, spec, st)
 	j.restored = true
+	j.tenant = r.Tenant
+	j.priority = PriorityValue(r.Priority)
+	j.campaign = r.Campaign
+	j.cell = r.Cell
 	if r.Attempts > 0 {
 		j.attempts = r.Attempts
 	}
@@ -172,11 +191,15 @@ func (s *Server) requeue(r store.Record) {
 	j := newJob(r.Job, key, c.spec, StateQueued)
 	j.restored = true
 	j.attempts = next
+	j.tenant = r.Tenant
+	j.priority = c.priority
+	j.campaign = r.Campaign
+	j.cell = r.Cell
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.inflight[key] = j
 	s.metrics.jobRestored(StateQueued, true)
-	s.journalAppend(store.Record{Job: j.ID, Key: key, State: string(StateQueued), Attempts: next, Spec: specJSON(c.spec)}, false)
+	s.journalAppend(store.Record{Job: j.ID, Key: key, State: string(StateQueued), Attempts: next, Spec: specJSON(c.spec), Tenant: r.Tenant, Priority: PriorityName(c.priority), Campaign: r.Campaign, Cell: r.Cell}, false)
 
 	// Exponential backoff between requeues: the first retry waits one
 	// base delay, each further attempt doubles it.
@@ -204,10 +227,15 @@ func (s *Server) enqueueAfter(j *Job, delay time.Duration) {
 		}
 	}
 	select {
-	case s.queue <- j:
 	case <-s.quit:
+		return
 	case <-j.done:
+		return
+	default:
 	}
+	// Unconditional: journaled work must never be dropped by admission
+	// limits — the budget that bounds it is MaxAttempts.
+	s.sched.force(j)
 }
 
 // journalAppend records a transition, degrading gracefully on write

@@ -53,3 +53,56 @@ func FuzzParseSpec(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCampaignSpec drives the campaign decode/compile pipeline with
+// arbitrary bodies. The contract: malformed edges, cycles, bad ids and
+// absurd cell specs must return an error — never panic — and a spec
+// that compiles must recompile from its own normalized form (the shape
+// the journal replays after a crash).
+func FuzzCampaignSpec(f *testing.F) {
+	seeds := []string{
+		`{"cells":[{"id":"a","spec":{"kind":"run","kernel":"CG","nodes":4}}]}`,
+		`{"name":"sweep","policy":"halt","priority":"batch","cells":[{"id":"a","spec":{"kind":"run","kernel":"CG"}},{"id":"b","after":["a"],"spec":{"kind":"run","kernel":"MG"}}]}`,
+		`{"policy":"continue","cells":[{"id":"a","after":["b"],"spec":{"kind":"run","kernel":"CG"}},{"id":"b","after":["a"],"spec":{"kind":"run","kernel":"CG"}}]}`,
+		`{"cells":[{"id":"a","after":["a"],"spec":{"kind":"run","kernel":"CG"}}]}`,
+		`{"cells":[{"id":"a","after":["ghost"],"spec":{"kind":"run","kernel":"CG"}}]}`,
+		`{"cells":[{"id":"a/b","spec":{"kind":"run","kernel":"CG"}}]}`,
+		`{"cells":[{"id":"a","spec":{"kind":"run","kernel":"CG"}},{"id":"a","spec":{"kind":"run","kernel":"CG"}}]}`,
+		`{"cells":[{"id":"a","after":["b","b"],"spec":{"kind":"run","kernel":"CG"}},{"id":"b","spec":{"kind":"run","kernel":"CG"}}]}`,
+		`{"policy":"explode","cells":[{"id":"a","spec":{"kind":"run","kernel":"CG"}}]}`,
+		`{"cells":[{"id":"a","spec":{"kind":"run","kernel":"CG","nodes":1000000}}]}`,
+		`{"cells":[]}`,
+		`{"cells":[{"id":"a","spec":{"kind":"run","kernel":"CG"}}]} trailing`,
+		`{"cellz":[]}`,
+		`not json`,
+		`{}`,
+		`[]`,
+		`{"cells":`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		cs, err := decodeCampaignSpec(strings.NewReader(body))
+		if err != nil {
+			return // rejected cleanly
+		}
+		cc, err := compileCampaign(cs)
+		if err != nil {
+			return // rejected cleanly
+		}
+		// The normalized spec is what the journal stores; replay must be
+		// able to recompile it verbatim.
+		norm := campaignJSON(cc.spec)
+		if norm == nil {
+			t.Fatalf("compiled campaign failed to marshal (body %q)", body)
+		}
+		cs2, err := decodeCampaignSpec(strings.NewReader(string(norm)))
+		if err != nil {
+			t.Fatalf("normalized campaign failed to decode: %v (body %q)", err, body)
+		}
+		if _, err := compileCampaign(cs2); err != nil {
+			t.Fatalf("normalized campaign failed to recompile: %v (body %q)", err, body)
+		}
+	})
+}

@@ -27,6 +27,14 @@ type Job struct {
 	ID  string
 	Key string // cache key (sha256 hex)
 
+	// Admission identity, immutable after registration: the tenant the
+	// job queues under, its priority class, and — for campaign cells —
+	// the campaign and cell it executes.
+	tenant   string
+	priority int
+	campaign string
+	cell     string
+
 	mu       sync.Mutex
 	spec     JobSpec // normalized
 	state    State
@@ -71,6 +79,9 @@ func (j *Job) snapshot() JobView {
 		Restored: j.restored,
 		Created:  j.created,
 		Spec:     j.spec,
+		Tenant:   j.tenant,
+		Campaign: j.campaign,
+		Cell:     j.cell,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -168,6 +179,9 @@ type JobView struct {
 	Cached   bool       `json:"cached"`
 	Attempts int        `json:"attempts"`
 	Restored bool       `json:"restored,omitempty"`
+	Tenant   string     `json:"tenant,omitempty"`
+	Campaign string     `json:"campaign,omitempty"`
+	Cell     string     `json:"cell,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`

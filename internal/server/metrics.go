@@ -217,7 +217,7 @@ func breakerValue(name string) int {
 	}
 }
 
-func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durabilityStats, cluster *ClusterStats, chaos func() uint64) {
+func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durabilityStats, cluster *ClusterStats, chaos func() uint64, tenants []tenantStat, campaigns []campaignStat) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -364,6 +364,71 @@ func (m *metrics) write(w io.Writer, queueDepth int, cache CacheStats, dur durab
 	fmt.Fprintln(w, "# HELP slipd_cache_hit_ratio Hits over lookups since start.")
 	fmt.Fprintln(w, "# TYPE slipd_cache_hit_ratio gauge")
 	fmt.Fprintf(w, "slipd_cache_hit_ratio %.4f\n", cache.HitRatio())
+
+	// Tenant series: admission-control outcomes and fair-queue state per
+	// tenant. The scheduler hands them over pre-sorted by tenant name.
+	if len(tenants) > 0 {
+		fmt.Fprintln(w, "# HELP slipd_tenant_weight Weighted-fair-queueing weight per tenant.")
+		fmt.Fprintln(w, "# TYPE slipd_tenant_weight gauge")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "slipd_tenant_weight{tenant=%q} %d\n", t.Name, t.Weight)
+		}
+		fmt.Fprintln(w, "# HELP slipd_tenant_queued Jobs a tenant currently has waiting in the fair queue.")
+		fmt.Fprintln(w, "# TYPE slipd_tenant_queued gauge")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "slipd_tenant_queued{tenant=%q} %d\n", t.Name, t.Queued)
+		}
+		fmt.Fprintln(w, "# HELP slipd_tenant_admitted_total Submissions admitted past a tenant's token bucket and backlog bound.")
+		fmt.Fprintln(w, "# TYPE slipd_tenant_admitted_total counter")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "slipd_tenant_admitted_total{tenant=%q} %d\n", t.Name, t.Admitted)
+		}
+		fmt.Fprintln(w, "# HELP slipd_tenant_limited_total Submissions refused 429 per tenant, by admission check.")
+		fmt.Fprintln(w, "# TYPE slipd_tenant_limited_total counter")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "slipd_tenant_limited_total{tenant=%q,reason=\"rate\"} %d\n", t.Name, t.LimitedRate)
+			fmt.Fprintf(w, "slipd_tenant_limited_total{tenant=%q,reason=\"backlog\"} %d\n", t.Name, t.LimitedBacklog)
+		}
+		fmt.Fprintln(w, "# HELP slipd_tenant_dispatched_total Jobs handed to workers per tenant by the fair scheduler.")
+		fmt.Fprintln(w, "# TYPE slipd_tenant_dispatched_total counter")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "slipd_tenant_dispatched_total{tenant=%q} %d\n", t.Name, t.Dispatched)
+		}
+	}
+
+	// Campaign series: DAG totals by state, cell outcomes, and the
+	// per-campaign cache-collapse ratio.
+	if len(campaigns) > 0 {
+		byState := map[string]int{}
+		var cellsDone, cellsFailed, cellsSkipped, cellsCollapsed int
+		for _, c := range campaigns {
+			byState[c.State]++
+			cellsDone += c.Done
+			cellsFailed += c.Failed
+			cellsSkipped += c.Skipped
+			cellsCollapsed += c.Collapsed
+		}
+		fmt.Fprintln(w, "# HELP slipd_campaigns Campaigns by state.")
+		fmt.Fprintln(w, "# TYPE slipd_campaigns gauge")
+		for _, st := range []string{campaignRunning, campaignDone, campaignFailed, campaignCancelled} {
+			fmt.Fprintf(w, "slipd_campaigns{state=%q} %d\n", st, byState[st])
+		}
+		fmt.Fprintln(w, "# HELP slipd_campaign_cells_total Campaign cells settled, by outcome (collapsed counts done cells served by cache or dedup).")
+		fmt.Fprintln(w, "# TYPE slipd_campaign_cells_total counter")
+		fmt.Fprintf(w, "slipd_campaign_cells_total{outcome=\"done\"} %d\n", cellsDone)
+		fmt.Fprintf(w, "slipd_campaign_cells_total{outcome=\"failed\"} %d\n", cellsFailed)
+		fmt.Fprintf(w, "slipd_campaign_cells_total{outcome=\"skipped\"} %d\n", cellsSkipped)
+		fmt.Fprintf(w, "slipd_campaign_cells_total{outcome=\"collapsed\"} %d\n", cellsCollapsed)
+		fmt.Fprintln(w, "# HELP slipd_campaign_cache_collapse_ratio Fraction of a campaign's cells served without a fresh run.")
+		fmt.Fprintln(w, "# TYPE slipd_campaign_cache_collapse_ratio gauge")
+		for _, c := range campaigns {
+			ratio := 0.0
+			if c.Total > 0 {
+				ratio = float64(c.Collapsed) / float64(c.Total)
+			}
+			fmt.Fprintf(w, "slipd_campaign_cache_collapse_ratio{campaign=%q} %.4f\n", c.ID, ratio)
+		}
+	}
 
 	fmt.Fprintln(w, "# HELP slipd_run_seconds Host wall-clock of completed runs by kernel or suite kind.")
 	fmt.Fprintln(w, "# TYPE slipd_run_seconds histogram")

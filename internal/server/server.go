@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,15 @@ type Config struct {
 	// slipd_chaos_injected_total counter — the number of control-plane
 	// network faults the netchaos layer has manufactured in this process.
 	ChaosInjected func() uint64
+	// Tenants configures named tenants with API keys and per-tenant
+	// admission limits. Requests without a recognized key run as the
+	// shared default tenant under TenantDefaults.
+	Tenants []TenantConfig
+	// TenantDefaults applies to the default tenant and to unrecognized
+	// API keys (each of which becomes its own tenant). The zero value —
+	// unlimited rate and backlog, weight 1 — reproduces the pre-tenant
+	// behavior exactly.
+	TenantDefaults TenantLimits
 }
 
 func (c Config) withDefaults() Config {
@@ -100,7 +110,14 @@ type Server struct {
 	nextID   int
 	draining bool
 
-	queue chan *Job
+	// Campaign registry, guarded by campMu (never taken while holding
+	// s.mu — campaign code locks camp.mu/campMu first, then s.mu).
+	campMu    sync.Mutex
+	campaigns map[string]*campaign
+	campOrder []string
+	nextCamp  int
+
+	sched *scheduler    // tenant-aware admission + weighted-fair dispatch
 	quit  chan struct{} // closed by Shutdown: drain queue, then exit
 	wg    sync.WaitGroup
 
@@ -136,6 +153,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /campaigns", s.handleCampaignSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleCampaignList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleCampaignGet)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleCampaignEvents)
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCampaignCancel)
 	mux.HandleFunc("GET /results/{key}", s.handleResultByKey)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -177,6 +199,20 @@ type SubmitOutcome struct {
 	Cached bool // answered from the result cache
 }
 
+// apiKeyFrom extracts the tenant API key from a request: X-API-Key,
+// or an Authorization: Bearer token. Absent means the default tenant.
+func apiKeyFrom(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+		return auth[len(prefix):]
+	}
+	return ""
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := decodeSpec(r.Body)
 	if err != nil {
@@ -193,10 +229,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	view, out, err := s.register(c, key)
+	sub := submission{
+		tenant:   s.sched.resolve(apiKeyFrom(r)),
+		priority: c.priority,
+		charge:   true,
+	}
+	j, out, err := s.register(c, key, sub)
 	switch {
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrTenantLimited):
+		// The submitting tenant's own limit: 429, not 503 — the daemon
+		// has capacity, this caller is over its share.
+		secs := 1
+		var tl *tenantLimitedError
+		if errors.As(err, &tl) {
+			secs = retryAfterSeconds(tl.retryAfter)
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		httpError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrQueueFull):
 		// Retry-After tells well-behaved clients to back off instead of
 		// hammering.
@@ -211,9 +262,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 		httpError(w, http.StatusServiceUnavailable, err)
 	case out.Dedup:
-		writeJSON(w, http.StatusOK, submitResponse{Job: view, Dedup: true})
+		writeJSON(w, http.StatusOK, submitResponse{Job: j.snapshot(), Dedup: true})
 	default:
-		writeJSON(w, http.StatusCreated, submitResponse{Job: view, Cached: out.Cached})
+		writeJSON(w, http.StatusCreated, submitResponse{Job: j.snapshot(), Cached: out.Cached})
 	}
 }
 
@@ -235,7 +286,14 @@ func (s *Server) SubmitJSON(specJSON []byte) (JobView, SubmitOutcome, error) {
 	if err != nil {
 		return JobView{}, SubmitOutcome{}, err
 	}
-	return s.register(c, key)
+	// Fleet-claim executions queue under the spec's own priority but are
+	// not charged admission: the originating coordinator already charged
+	// the submitting tenant when it accepted the work.
+	j, out, err := s.register(c, key, submission{priority: c.priority})
+	if err != nil {
+		return JobView{}, out, err
+	}
+	return j.snapshot(), out, nil
 }
 
 // CacheKeyFor compiles a spec and returns the content-addressed cache
@@ -254,13 +312,26 @@ func (s *Server) CacheKeyFor(specJSON []byte) (string, error) {
 	return c.cacheKey(s.cfg.Version)
 }
 
+// submission is the admission identity of one register call: which
+// tenant the work queues under, at what priority, whether the tenant's
+// rate/backlog limits apply (client submissions yes; campaign cells
+// paid at campaign admission, fleet claims at their origin), and — for
+// campaign cells — which DAG cell this job executes.
+type submission struct {
+	tenant   string
+	priority int
+	campaign string
+	cell     string
+	charge   bool
+}
+
 // register is the admission path shared by every submission surface:
 // dedup against in-flight work, answer from the cache, or queue.
-func (s *Server) register(c *compiledSpec, key string) (JobView, SubmitOutcome, error) {
+func (s *Server) register(c *compiledSpec, key string, sub submission) (*Job, SubmitOutcome, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return JobView{}, SubmitOutcome{}, ErrDraining
+		return nil, SubmitOutcome{}, ErrDraining
 	}
 
 	// Single-flight: an identical job already queued or running answers
@@ -268,16 +339,18 @@ func (s *Server) register(c *compiledSpec, key string) (JobView, SubmitOutcome, 
 	// identical submissions costs one run, not one run plus misses.
 	if j, ok := s.inflight[key]; ok {
 		s.metrics.dedupHit()
-		view := j.snapshot()
 		s.mu.Unlock()
-		return view, SubmitOutcome{Dedup: true}, nil
+		// A higher-priority identical submission lifts the queued job
+		// out of the bulk class instead of waiting behind it.
+		s.sched.promote(j, sub.priority)
+		return j, SubmitOutcome{Dedup: true}, nil
 	}
 
 	// Content-addressed cache: determinism means an equal key is an equal
 	// result, so a hit materializes a done job without running anything.
 	// The lookup is tiered — memory LRU, then the disk result store.
 	if result, ok := s.cacheGet(key); ok {
-		j := s.newJobLocked(key, c.spec, StateDone)
+		j := s.newJobLocked(key, c.spec, StateDone, sub)
 		j.cached = true
 		j.attempts = 0 // never handed to the queue
 		j.result = result
@@ -289,10 +362,9 @@ func (s *Server) register(c *compiledSpec, key string) (JobView, SubmitOutcome, 
 		s.metrics.jobCreated(StateDone)
 		// No fsync: losing this record costs a job-listing entry, not a
 		// result — the bytes are already durable under the key.
-		s.journalAppend(store.Record{Job: j.ID, Key: key, State: string(StateDone), Cached: true, Spec: specJSON(c.spec)}, false)
-		view := j.snapshot()
+		s.journalAppend(store.Record{Job: j.ID, Key: key, State: string(StateDone), Cached: true, Spec: specJSON(c.spec), Tenant: sub.tenant, Priority: PriorityName(sub.priority), Campaign: sub.campaign, Cell: sub.cell}, false)
 		s.mu.Unlock()
-		return view, SubmitOutcome{Cached: true}, nil
+		return j, SubmitOutcome{Cached: true}, nil
 	}
 
 	// Replication-lag backpressure: a coordinator whose peers are all
@@ -302,35 +374,38 @@ func (s *Server) register(c *compiledSpec, key string) (JobView, SubmitOutcome, 
 		if retry, shed := sh.ShedNewJobs(); shed {
 			s.mu.Unlock()
 			s.metrics.replicationShed()
-			return JobView{}, SubmitOutcome{}, &backpressureError{retryAfter: retry}
+			return nil, SubmitOutcome{}, &backpressureError{retryAfter: retry}
 		}
 	}
 
-	j := s.newJobLocked(key, c.spec, StateQueued)
-	select {
-	case s.queue <- j:
-	default:
-		// Queue full: roll the registration back and shed load.
+	j := s.newJobLocked(key, c.spec, StateQueued, sub)
+	if err := s.sched.submit(j, sub.charge); err != nil {
+		// Refused admission: roll the registration back and shed load.
 		delete(s.jobs, j.ID)
 		delete(s.inflight, key)
 		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
-		s.metrics.requestShed()
-		return JobView{}, SubmitOutcome{}, ErrQueueFull
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.requestShed()
+		}
+		return nil, SubmitOutcome{}, err
 	}
 	s.metrics.jobCreated(StateQueued)
-	s.journalAppend(store.Record{Job: j.ID, Key: key, State: string(StateQueued), Attempts: 1, Spec: specJSON(c.spec)}, false)
-	view := j.snapshot()
+	s.journalAppend(store.Record{Job: j.ID, Key: key, State: string(StateQueued), Attempts: 1, Spec: specJSON(c.spec), Tenant: sub.tenant, Priority: PriorityName(sub.priority), Campaign: sub.campaign, Cell: sub.cell}, false)
 	s.mu.Unlock()
-	return view, SubmitOutcome{}, nil
+	return j, SubmitOutcome{}, nil
 }
 
 // newJobLocked registers a job under the next ID. Caller holds s.mu.
 // Queued jobs also enter the in-flight index so identical submissions
 // coalesce onto them.
-func (s *Server) newJobLocked(key string, spec JobSpec, st State) *Job {
+func (s *Server) newJobLocked(key string, spec JobSpec, st State, sub submission) *Job {
 	s.nextID++
 	j := newJob(fmt.Sprintf("job-%d", s.nextID), key, spec, st)
+	j.tenant = sub.tenant
+	j.priority = sub.priority
+	j.campaign = sub.campaign
+	j.cell = sub.cell
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	if st == StateQueued {
@@ -428,21 +503,28 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	was, ok := j.abort("cancelled by client")
+	s.cancelJob(j, "cancelled by client")
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// cancelJob aborts a job (shared by DELETE /jobs/{id} and campaign
+// cancellation). A job cancelled while still queued settles
+// immediately: gauges, single-flight, its scheduler slot, and the
+// journal don't wait for a worker to skip it.
+func (s *Server) cancelJob(j *Job, reason string) {
+	was, ok := j.abort(reason)
 	if was == StateQueued && ok {
-		// The job died in the queue; a worker will skip it. Settle the
-		// books now so gauges and single-flight don't wait for that.
+		s.sched.remove(j) // free the tenant's backlog slot now
 		s.metrics.jobTransition(StateQueued, StateFailed)
 		s.clearInflight(j)
 		j.broker.close()
-		s.journalAppend(store.Record{Job: j.ID, Key: j.Key, State: journalStateCancelled, Error: "cancelled by client"}, true)
+		s.journalAppend(store.Record{Job: j.ID, Key: j.Key, State: journalStateCancelled, Error: reason}, true)
 	}
-	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, len(s.queue), s.cache.Stats(), s.durabilityStats(), s.clusterStats(), s.cfg.ChaosInjected)
+	s.metrics.write(w, s.sched.depth(), s.cache.Stats(), s.durabilityStats(), s.clusterStats(), s.cfg.ChaosInjected, s.sched.stats(), s.campaignStats())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -460,24 +542,16 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"cache_key_version": s.cfg.Version})
 }
 
-// worker runs jobs until the queue is empty after Shutdown closes quit.
+// worker runs jobs until the scheduler is empty after Shutdown closes
+// quit (pop keeps draining queued work past the close).
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case j := <-s.queue:
-			s.runJob(j)
-		case <-s.quit:
-			// Drain: finish whatever is still queued, then exit.
-			for {
-				select {
-				case j := <-s.queue:
-					s.runJob(j)
-				default:
-					return
-				}
-			}
+		j, ok := s.sched.pop(s.quit)
+		if !ok {
+			return
 		}
+		s.runJob(j)
 	}
 }
 

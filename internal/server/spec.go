@@ -67,6 +67,13 @@ func defaultTaskCutoffs() []int { return []int{2, 4, 6, 8} }
 type JobSpec struct {
 	Kind string `json:"kind"`
 
+	// Priority selects the scheduling class: "interactive" (single
+	// probes that preempt queued bulk work) or "batch". Empty defaults
+	// by kind — "run" is interactive, every suite kind is batch.
+	// Deliberately NOT part of the cache key: priority changes when a
+	// job runs, never what it produces.
+	Priority string `json:"priority,omitempty"`
+
 	// Single-run fields (kind "run"; Kernel also selects the scaling and
 	// token-sweep subject).
 	Kernel string `json:"kernel,omitempty"`
@@ -111,8 +118,9 @@ type FaultSpec struct {
 // compiledSpec is a validated, normalized spec with every string resolved
 // to its typed value, ready to execute and to hash.
 type compiledSpec struct {
-	spec  JobSpec // normalized copy (canonical casing, defaults applied)
-	scale npb.Scale
+	spec     JobSpec // normalized copy (canonical casing, defaults applied)
+	priority int     // resolved scheduling class
+	scale    npb.Scale
 	opts  experiments.Options // canonical options for the suite kinds
 	mode  core.Mode
 	sync  core.Config
@@ -287,6 +295,22 @@ func compile(s JobSpec) (*compiledSpec, error) {
 	if s.Faults != nil && s.Kind != KindRun && s.Kind != KindChaos {
 		return nil, fmt.Errorf("kind %q does not take a faults block", s.Kind)
 	}
+
+	// Scheduling class: explicit, or defaulted by kind (a single run is
+	// an interactive probe; every suite is bulk work).
+	switch strings.ToLower(s.Priority) {
+	case "":
+		if s.Kind == KindRun {
+			c.spec.Priority = PriorityNameInteractive
+		} else {
+			c.spec.Priority = PriorityNameBatch
+		}
+	case PriorityNameInteractive, PriorityNameBatch:
+		c.spec.Priority = strings.ToLower(s.Priority)
+	default:
+		return nil, fmt.Errorf("unknown priority %q (valid: interactive, batch)", s.Priority)
+	}
+	c.priority = PriorityValue(c.spec.Priority)
 
 	// Validate the suite filter eagerly so a bad name 400s at submit.
 	if len(c.spec.Kernels) > 0 {

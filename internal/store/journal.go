@@ -38,6 +38,16 @@ type Record struct {
 	Cached   bool            `json:"cached,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"`
 
+	// Admission identity: which tenant submitted the work and at which
+	// priority class it queues. Set on the first record for a job (or
+	// claim) and sticky across transitions, like the spec.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
+	// Campaign/Cell tie a job record to the campaign DAG cell it runs,
+	// and mark a campaign's own records (Job == Campaign). Sticky.
+	Campaign string `json:"campaign,omitempty"`
+	Cell     string `json:"cell,omitempty"`
+
 	ClaimedBy      string `json:"claimed_by,omitempty"`
 	ClaimExpiresAt int64  `json:"claim_expires_at,omitempty"` // unix ms
 	ClaimAttempt   int    `json:"claim_attempt,omitempty"`
@@ -58,6 +68,18 @@ func merge(old, next Record) Record {
 	}
 	if next.Label == "" {
 		next.Label = old.Label
+	}
+	if next.Tenant == "" {
+		next.Tenant = old.Tenant
+	}
+	if next.Priority == "" {
+		next.Priority = old.Priority
+	}
+	if next.Campaign == "" {
+		next.Campaign = old.Campaign
+	}
+	if next.Cell == "" {
+		next.Cell = old.Cell
 	}
 	if next.Attempts < old.Attempts {
 		next.Attempts = old.Attempts

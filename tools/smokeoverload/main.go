@@ -1,0 +1,422 @@
+// Command smokeoverload is the multi-tenant overload drill behind
+// `make smoke-overload`. It boots a slipd with a rate-limited flood
+// tenant and an unlimited probe tenant, then asserts the admission and
+// fairness contract end to end over real HTTP:
+//
+//  1. The flood tenant bursts past its token bucket and is refused with
+//     429 + Retry-After while the daemon stays healthy.
+//  2. The probe tenant's interactive job completes while the flood
+//     tenant's backlog is still queued — no cross-tenant starvation.
+//  3. The probe result is byte-identical to the same spec run on a
+//     second, completely unloaded slipd: overload must shape *when*
+//     work runs, never *what* it produces.
+//  4. A halt-policy campaign whose first cell is cancelled mid-run
+//     deterministically skips its pending cell and settles failed, and
+//     the per-tenant and campaign counters land on /metrics.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const (
+	floodKey = "sk-flood"
+	probeKey = "sk-probe"
+
+	probeSpec = `{"kind":"run","kernel":"CG","nodes":4}`
+	// slowCell runs long enough that a DELETE reliably lands mid-run.
+	slowCell = `{"kind":"static","kernels":["CG"],"nodes":8,"scale":"small"}`
+)
+
+func main() {
+	bin := "bin/slipd"
+	if len(os.Args) > 1 {
+		bin = os.Args[1]
+	}
+	if err := run(bin); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke-overload: FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke-overload: PASSED")
+}
+
+func run(bin string) error {
+	// Flood tenant: weight 1, 0.5 jobs/sec, burst 2, backlog 8. Probe
+	// tenant: unlimited. Both admission domains on one worker, so
+	// fairness is decided purely by the scheduler.
+	cmd, base, err := startSlipd(bin, "-no-persist",
+		"-tenant", "flood:"+floodKey+":1:0.5:2:8",
+		"-tenant", "probe:"+probeKey)
+	if err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+	if err := waitHealthy(base, 10*time.Second); err != nil {
+		return err
+	}
+
+	// Phase 1: burst the flood tenant. Two submissions fit the burst;
+	// the rest must come back 429 with a Retry-After hint, not 503 and
+	// not success.
+	admitted, refused := 0, 0
+	for i := 0; i < 8; i++ {
+		spec := fmt.Sprintf(`{"kind":"run","kernel":"CG","nodes":%d,"priority":"batch"}`, 8+i)
+		resp, body, err := post(base+"/jobs", floodKey, spec)
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			admitted++
+		case http.StatusTooManyRequests:
+			refused++
+			if resp.Header.Get("Retry-After") == "" {
+				return fmt.Errorf("flood 429 missing Retry-After header")
+			}
+		default:
+			return fmt.Errorf("flood submission %d = %d, want 201 or 429: %s", i, resp.StatusCode, body)
+		}
+	}
+	if admitted != 2 || refused != 6 {
+		return fmt.Errorf("flood: admitted=%d refused=%d, want 2/6 (burst 2)", admitted, refused)
+	}
+	fmt.Fprintf(os.Stderr, "smoke-overload: flood tenant: %d admitted, %d refused with Retry-After\n", admitted, refused)
+
+	// Phase 2: the probe tenant submits one interactive job while the
+	// flood backlog is queued; it must complete promptly.
+	resp, body, err := post(base+"/jobs", probeKey, probeSpec)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("probe submission = %d: %s", resp.StatusCode, body)
+	}
+	probeID := jobID(body)
+	if err := waitDone(base, probeID, time.Minute); err != nil {
+		return fmt.Errorf("probe under flood: %w", err)
+	}
+	loaded, code, err := get(base + "/jobs/" + probeID + "/result")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("probe result = %d", code)
+	}
+	fmt.Fprintln(os.Stderr, "smoke-overload: probe tenant completed under flood")
+
+	// Phase 3: halt-policy campaign. Cell a is a slow suite we cancel
+	// mid-run; b is independent; c depends on b and must be skipped by
+	// the halt — deterministically, because c cannot launch before b
+	// finishes and the halt lands while b is still queued or running.
+	campBody := fmt.Sprintf(`{"name":"drill","policy":"halt","priority":"batch","cells":[`+
+		`{"id":"a","spec":%s},`+
+		`{"id":"b","spec":{"kind":"run","kernel":"CG","nodes":6}},`+
+		`{"id":"c","after":["b"],"spec":{"kind":"run","kernel":"CG","nodes":7}}]}`, slowCell)
+	resp, body, err = post(base+"/campaigns", probeKey, campBody)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("POST /campaigns = %d: %s", resp.StatusCode, body)
+	}
+	var created struct {
+		Campaign struct {
+			ID    string `json:"id"`
+			Cells []struct {
+				ID  string `json:"id"`
+				Job string `json:"job"`
+			} `json:"cells"`
+		} `json:"campaign"`
+	}
+	if err := json.Unmarshal([]byte(body), &created); err != nil {
+		return fmt.Errorf("decode campaign: %w (%s)", err, body)
+	}
+	campID := created.Campaign.ID
+	var cellAJob string
+	for _, c := range created.Campaign.Cells {
+		if c.ID == "a" {
+			cellAJob = c.Job
+		}
+	}
+	if cellAJob == "" {
+		return fmt.Errorf("campaign view has no job id for cell a: %s", body)
+	}
+	if err := waitState(base, cellAJob, "running", time.Minute); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+cellAJob, nil)
+	if err != nil {
+		return err
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("DELETE cell a job = %d", dresp.StatusCode)
+	}
+	camp, err := waitCampaignTerminal(base, campID, 2*time.Minute)
+	if err != nil {
+		return err
+	}
+	if camp.State != "failed" {
+		return fmt.Errorf("campaign state = %q, want failed", camp.State)
+	}
+	states := map[string]cellView{}
+	for _, c := range camp.Cells {
+		states[c.ID] = c
+	}
+	if states["a"].State != "failed" {
+		return fmt.Errorf("cell a = %+v, want failed (cancelled)", states["a"])
+	}
+	if states["b"].State != "done" {
+		return fmt.Errorf("cell b = %+v, want done (already launched when halt hit)", states["b"])
+	}
+	if states["c"].State != "skipped" || !strings.Contains(states["c"].Error, "halted") {
+		return fmt.Errorf("cell c = %+v, want skipped by halt", states["c"])
+	}
+	fmt.Fprintf(os.Stderr, "smoke-overload: halt campaign settled failed; cell c skipped (%q)\n", states["c"].Error)
+
+	// Metrics: admission refusals, probe dispatches, and the campaign
+	// rollup are all visible.
+	metrics, _, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		`slipd_tenant_limited_total{tenant="flood",reason="rate"} 6`,
+		`slipd_tenant_admitted_total{tenant="flood"} 2`,
+		`slipd_campaigns{state="failed"} 1`,
+		`slipd_campaign_cells_total{outcome="skipped"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if err := stopGracefully(cmd); err != nil {
+		return err
+	}
+
+	// Phase 4: the same probe spec on a fresh, unloaded slipd must
+	// produce byte-identical output — overload shapes scheduling, never
+	// results.
+	ref, refBase, err := startSlipd(bin, "-no-persist")
+	if err != nil {
+		return err
+	}
+	defer ref.Process.Kill()
+	if err := waitHealthy(refBase, 10*time.Second); err != nil {
+		return err
+	}
+	resp, body, err = post(refBase+"/jobs", "", probeSpec)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("reference submission = %d: %s", resp.StatusCode, body)
+	}
+	refID := jobID(body)
+	if err := waitDone(refBase, refID, time.Minute); err != nil {
+		return err
+	}
+	unloaded, code, err := get(refBase + "/jobs/" + refID + "/result")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("reference result = %d", code)
+	}
+	if loaded != unloaded {
+		return fmt.Errorf("probe result under flood differs from unloaded run:\n--- loaded ---\n%s\n--- unloaded ---\n%s", loaded, unloaded)
+	}
+	fmt.Fprintln(os.Stderr, "smoke-overload: probe result byte-identical to unloaded run")
+	return stopGracefully(ref)
+}
+
+func startSlipd(bin string, extra ...string) (*exec.Cmd, string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	args := append([]string{"-addr", addr, "-workers", "1", "-drain", "2m"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("start %s: %w", bin, err)
+	}
+	return cmd, "http://" + addr, nil
+}
+
+func stopGracefully(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("slipd exited non-zero after SIGTERM: %w", err)
+		}
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("slipd did not exit within 2m of SIGTERM")
+	}
+	return nil
+}
+
+// post sends a JSON body with an optional tenant API key.
+func post(url, key, body string) (*http.Response, string, error) {
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(b), nil
+}
+
+func jobID(submitBody string) string {
+	var sr struct {
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	json.Unmarshal([]byte(submitBody), &sr)
+	return sr.Job.ID
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if _, code, err := get(base + "/healthz"); err == nil && code == http.StatusOK {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("%s/healthz not 200 within %s", base, timeout)
+}
+
+type jobStateView struct {
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+func waitDone(base, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		v, err := jobView(base, id)
+		if err != nil {
+			return err
+		}
+		if v.State == "done" {
+			return nil
+		}
+		if v.State == "failed" {
+			return fmt.Errorf("job %s failed: %s", id, v.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s not done within %s", id, timeout)
+}
+
+func waitState(base, id, want string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		v, err := jobView(base, id)
+		if err != nil {
+			return err
+		}
+		if v.State == want {
+			return nil
+		}
+		if v.State == "done" || v.State == "failed" {
+			return fmt.Errorf("job %s reached %q before %q", id, v.State, want)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s not %s within %s", id, want, timeout)
+}
+
+func jobView(base, id string) (jobStateView, error) {
+	body, code, err := get(base + "/jobs/" + id)
+	if err != nil {
+		return jobStateView{}, err
+	}
+	if code != http.StatusOK {
+		return jobStateView{}, fmt.Errorf("GET /jobs/%s = %d: %s", id, code, body)
+	}
+	var v jobStateView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		return jobStateView{}, err
+	}
+	return v, nil
+}
+
+type cellView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+type campaignTerminalView struct {
+	State string     `json:"state"`
+	Cells []cellView `json:"cells"`
+}
+
+func waitCampaignTerminal(base, id string, timeout time.Duration) (campaignTerminalView, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		body, code, err := get(base + "/campaigns/" + id)
+		if err != nil {
+			return campaignTerminalView{}, err
+		}
+		if code != http.StatusOK {
+			return campaignTerminalView{}, fmt.Errorf("GET /campaigns/%s = %d: %s", id, code, body)
+		}
+		var v campaignTerminalView
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			return campaignTerminalView{}, err
+		}
+		if v.State != "running" {
+			return v, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return campaignTerminalView{}, fmt.Errorf("campaign %s not terminal within %s", id, timeout)
+}
+
+func get(url string) (string, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, err
+	}
+	return string(b), resp.StatusCode, nil
+}
